@@ -1,0 +1,279 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md §5:
+// virtual-clock charging semantics, all-to-all strategy, broadcast
+// algorithm, Strassen cutoff, CAPS schedule, and network topology.
+package perfscale_test
+
+import (
+	"testing"
+
+	"perfscale/internal/fft"
+	"perfscale/internal/lu"
+	"perfscale/internal/matmul"
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+	"perfscale/internal/strassen"
+)
+
+// BenchmarkAblationClockCharging compares the default accounting (sender
+// pays, receiver waits) against charging both sides, on the E2 2.5D matmul
+// scaling run. The constant differs; the speedup shape must not.
+func BenchmarkAblationClockCharging(b *testing.B) {
+	base := sim.Cost{GammaT: 1e-9, BetaT: 4e-9, AlphaT: 1e-8}
+	charged := base
+	charged.ChargeReceiver = true
+	var sBase, sCharged float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(96, 96, 1)
+		bb := matrix.Random(96, 96, 2)
+		speedup := func(c sim.Cost) float64 {
+			r1, err := matmul.TwoPointFiveD(c, 4, 1, a, bb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r4, err := matmul.TwoPointFiveD(c, 4, 4, a, bb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r1.Sim.Time() / r4.Sim.Time()
+		}
+		sBase = speedup(base)
+		sCharged = speedup(charged)
+	}
+	b.ReportMetric(sBase, "speedup-default")
+	b.ReportMetric(sCharged, "speedup-charged")
+}
+
+// BenchmarkAblationAllToAllCrossover sweeps the latency/bandwidth ratio and
+// reports the αt/βt ratio (in words) at which the tree all-to-all overtakes
+// the naive one for the FFT exchange — the model predicts the crossover
+// near W_extra/S_saved = (n/p)(log p − 2)/2 / (p − log p) words per saved
+// message.
+func BenchmarkAblationAllToAllCrossover(b *testing.B) {
+	const n, p = 1024, 16
+	x := fft.RandomSignal(n, 3)
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		crossover = -1
+		for ratio := 1.0; ratio <= 1<<20; ratio *= 2 {
+			cost := sim.Cost{BetaT: 1e-9, AlphaT: 1e-9 * ratio}
+			naive, err := fft.Distributed(cost, p, x, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tree, err := fft.Distributed(cost, p, x, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tree.Sim.Time() < naive.Sim.Time() {
+				crossover = ratio
+				break
+			}
+		}
+	}
+	b.ReportMetric(crossover, "alpha-beta-crossover-words")
+}
+
+// BenchmarkAblationBroadcast compares the binomial tree against the
+// scatter+allgather broadcast at a large payload: root words sent and
+// completion time under a bandwidth-dominated network.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	const p = 8
+	const k = 1 << 14
+	cost := sim.Cost{BetaT: 1e-9, AlphaT: 1e-8}
+	data := make([]float64, k)
+	var treeWords, largeWords, treeTime, largeTime float64
+	for i := 0; i < b.N; i++ {
+		resTree, err := sim.Run(p, cost, func(r *sim.Rank) error {
+			var in []float64
+			if r.ID() == 0 {
+				in = data
+			}
+			r.World().Bcast(0, in)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resLarge, err := sim.Run(p, cost, func(r *sim.Rank) error {
+			var in []float64
+			if r.ID() == 0 {
+				in = data
+			}
+			r.World().BcastLarge(0, in)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		treeWords = resTree.PerRank[0].WordsSent
+		largeWords = resLarge.PerRank[0].WordsSent
+		treeTime = resTree.Time()
+		largeTime = resLarge.Time()
+	}
+	b.ReportMetric(treeWords/largeWords, "root-words-ratio")
+	b.ReportMetric(treeTime/largeTime, "time-ratio")
+}
+
+// BenchmarkAblationStrassenCutoff sweeps the serial Strassen cutoff and
+// reports the flop count relative to classical for each: small cutoffs buy
+// flops at the price of recursion overhead (which the flop model does not
+// see, but wall time does).
+func BenchmarkAblationStrassenCutoff(b *testing.B) {
+	const n = 512
+	classical := 2.0 * n * n * n
+	var ratio16, ratio64, ratio256 float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(n, n, 1)
+		bb := matrix.Random(n, n, 2)
+		_ = strassen.Multiply(a, bb, 64)
+		ratio16 = strassen.Flops(n, 16) / classical
+		ratio64 = strassen.Flops(n, 64) / classical
+		ratio256 = strassen.Flops(n, 256) / classical
+	}
+	b.ReportMetric(ratio16, "flops-vs-classical-cut16")
+	b.ReportMetric(ratio64, "flops-vs-classical-cut64")
+	b.ReportMetric(ratio256, "flops-vs-classical-cut256")
+}
+
+// BenchmarkAblationCAPSSchedule compares BFS-only against DFS-then-BFS on
+// the same rank count: peak memory versus communication volume.
+func BenchmarkAblationCAPSSchedule(b *testing.B) {
+	const n = 112
+	var memRatio, wordRatio float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(n, n, 3)
+		bb := matrix.Random(n, n, 4)
+		bfs, err := strassen.CAPSSchedule(sim.Cost{}, "B", a, bb, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dfs, err := strassen.CAPSSchedule(sim.Cost{}, "DB", a, bb, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		memRatio = bfs.Sim.MaxStats().PeakMemWords / dfs.Sim.MaxStats().PeakMemWords
+		wordRatio = dfs.Sim.MaxStats().WordsSent / bfs.Sim.MaxStats().WordsSent
+	}
+	b.ReportMetric(memRatio, "bfs-dfs-memory-ratio")
+	b.ReportMetric(wordRatio, "dfs-bfs-words-ratio")
+}
+
+// BenchmarkAblationTorusTopology runs 2.5D matmul under uniform links and
+// under a 4x4x4 torus whose per-hop latency equals the uniform latency:
+// the paper's remark that a 3D torus is a good match for the algorithm —
+// most traffic is nearest-neighbor, so the torus penalty stays small.
+func BenchmarkAblationTorusTopology(b *testing.B) {
+	const n, q, c = 96, 4, 4 // p = 64 = 4x4x4
+	uniform := sim.Cost{GammaT: 1e-9, BetaT: 4e-9, AlphaT: 1e-7}
+	torus := uniform
+	torus.Links = sim.Torus3DLinks{X: 4, Y: 4, Z: 4, AlphaPerHop: 1e-7, BetaPerWord: 4e-9}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(n, n, 5)
+		bb := matrix.Random(n, n, 6)
+		rU, err := matmul.TwoPointFiveD(uniform, q, c, a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rT, err := matmul.TwoPointFiveD(torus, q, c, a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = rT.Sim.Time() / rU.Sim.Time()
+	}
+	b.ReportMetric(slowdown, "torus-vs-uniform-time")
+}
+
+// BenchmarkAblationTorusPlacement quantifies the paper's "3D torus is a
+// perfect match" remark with Cannon's algorithm, whose communication is
+// entirely nearest-neighbor shifts: embedding the process grid on torus
+// lines versus scrambling it. Latency-only clock — the torus model keeps
+// bandwidth uniform, so hop counts are the whole story.
+func BenchmarkAblationTorusPlacement(b *testing.B) {
+	const n, q = 64, 8 // p = 64 on an 8x8 torus
+	tor := sim.Torus3DLinks{X: 8, Y: 8, Z: 1, AlphaPerHop: 1e-7}
+	grid3, err := sim.NewGrid3D(q, 1, q*q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	good, err := sim.GridToTorusPlacement(grid3, tor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := make([]int, len(good))
+	for i := range bad {
+		bad[i] = (i*37 + 11) % len(bad)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(n, n, 7)
+		bb := matrix.Random(n, n, 8)
+		run := func(place []int) float64 {
+			cost := sim.Cost{Links: sim.PlacedLinks{Base: tor, Place: place}}
+			res, err := matmul.Cannon(cost, q, a, bb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Sim.Time()
+		}
+		ratio = run(bad) / run(good)
+	}
+	b.ReportMetric(ratio, "scrambled-vs-embedded-time")
+}
+
+// BenchmarkAblation25DInnerAlgorithm compares the Cannon-based and
+// SUMMA-based 2.5D variants under a latency-heavy and a bandwidth-heavy
+// network: shifts beat broadcast trees on latency, and the two converge
+// when bandwidth dominates.
+func BenchmarkAblation25DInnerAlgorithm(b *testing.B) {
+	const n, q, c = 96, 4, 2
+	var latRatio, bwRatio float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.Random(n, n, 9)
+		bb := matrix.Random(n, n, 10)
+		run := func(cost sim.Cost, summa bool) float64 {
+			var res *matmul.RunResult
+			var err error
+			if summa {
+				res, err = matmul.TwoPointFiveDSUMMA(cost, q, c, a, bb)
+			} else {
+				res, err = matmul.TwoPointFiveD(cost, q, c, a, bb)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Sim.Time()
+		}
+		lat := sim.Cost{AlphaT: 1e-6}
+		bw := sim.Cost{BetaT: 4e-9}
+		latRatio = run(lat, true) / run(lat, false)
+		bwRatio = run(bw, true) / run(bw, false)
+	}
+	b.ReportMetric(latRatio, "summa-over-cannon-latency")
+	b.ReportMetric(bwRatio, "summa-over-cannon-bandwidth")
+}
+
+// BenchmarkAblationLULayout compares the plain block layout against the
+// block-cyclic layout for 2D LU: flop imbalance of the busiest rank.
+func BenchmarkAblationLULayout(b *testing.B) {
+	const n, q = 64, 2
+	var blockImb, cyclicImb float64
+	for i := 0; i < b.N; i++ {
+		a := matrix.RandomDiagDominant(n, 11)
+		blk, err := lu.TwoD(sim.Cost{}, q, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, err := lu.TwoDCyclic(sim.Cost{}, q, 8, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imb := func(r *lu.Result) float64 {
+			return r.Sim.MaxStats().Flops * float64(q*q) / r.Sim.TotalStats().Flops
+		}
+		blockImb = imb(blk)
+		cyclicImb = imb(cyc)
+	}
+	b.ReportMetric(blockImb, "block-layout-imbalance")
+	b.ReportMetric(cyclicImb, "cyclic-layout-imbalance")
+}

@@ -1,0 +1,46 @@
+// codesign walks question 5 of the paper's introduction (Section V.F):
+// given a target energy efficiency in GFLOPS/W, what must the machine's
+// energy parameters become? It starts from the measured Table I server,
+// reports the achievable n-body efficiency, and solves for the technology
+// scaling that reaches the target — the paper's hardware/software co-design
+// loop.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/casestudy"
+	"perfscale/internal/machine"
+	"perfscale/internal/opt"
+)
+
+func main() {
+	base := machine.Jaketown()
+	pb := opt.NBody{M: base, N: 1e6, F: 19}
+
+	fmt.Println("co-design study on the Table I machine")
+	fmt.Printf("best-case n-body efficiency today: %.3f GFLOPS/W (independent of n, p, M)\n\n",
+		pb.Efficiency())
+
+	fmt.Printf("%10s %14s %16s\n", "target", "energy scale", "generations")
+	for _, target := range []float64{5, 10, 25, 75, 200} {
+		x := pb.EnergyScaleForTarget(target)
+		gens := math.Ceil(math.Log2(1 / x))
+		fmt.Printf("%7.0f GF/W %13.4g %16.0f\n", target, x, gens)
+	}
+
+	// Cross-check with the Section VI matmul trajectory: the joint
+	// γe/βe/δe halving path reaches 75 GFLOPS/W at generation...
+	g := casestudy.GenerationsToTarget(75, 12)
+	fmt.Printf("\nSection VI matmul trajectory reaches 75 GFLOPS/W at generation %d (paper: ~5)\n", g)
+
+	// Verify the solve: apply the scale for 75 GFLOPS/W and re-evaluate.
+	x := pb.EnergyScaleForTarget(75)
+	scaled := pb
+	scaled.M = base.ScaleEnergy(x,
+		machine.FieldGammaE, machine.FieldBetaE, machine.FieldAlphaE,
+		machine.FieldDeltaE, machine.FieldEpsilonE)
+	fmt.Printf("after scaling all energy parameters by %.4g: %.2f GFLOPS/W\n",
+		x, scaled.Efficiency())
+}

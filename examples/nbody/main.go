@@ -1,0 +1,67 @@
+// nbody exercises the data-replicating direct n-body algorithm end to end:
+// it verifies the distributed forces against the serial kernel, shows the
+// measured strong-scaling behaviour as replication grows, and then uses the
+// Section V machinery to answer the energy/time tradeoff questions for the
+// same workload on the paper's illustrative machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfscale/internal/machine"
+	"perfscale/internal/nbody"
+	"perfscale/internal/opt"
+	"perfscale/internal/sim"
+)
+
+func main() {
+	// Part 1: run the real algorithm on the simulator.
+	m := machine.SimDefault()
+	cost := sim.Cost{GammaT: m.GammaT, BetaT: m.BetaT, AlphaT: m.AlphaT, MaxMsgWords: int(m.MaxMsgWords)}
+	const n = 512
+	bodies := nbody.RandomBodies(n, 42)
+	want := nbody.SerialForces(bodies)
+
+	fmt.Printf("replicated n-body, n=%d bodies, ring size k=8 fixed, p = 8c\n\n", n)
+	fmt.Printf("%3s %4s %12s %9s %12s %12s\n", "c", "p", "sim time (s)", "speedup", "max W sent", "peak M")
+	var t1 float64
+	for _, c := range []int{1, 2, 4} {
+		res, err := nbody.Replicated(cost, 8*c, c, bodies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d := nbody.MaxAbsDiff(res.Forces, want); d > 1e-9 {
+			log.Fatalf("c=%d: wrong forces (diff %g)", c, d)
+		}
+		if c == 1 {
+			t1 = res.Sim.Time()
+		}
+		s := res.Sim.MaxStats()
+		fmt.Printf("%3d %4d %12.3e %8.2fx %12.0f %12.0f\n",
+			c, 8*c, res.Sim.Time(), t1/res.Sim.Time(), s.WordsSent, s.PeakMemWords)
+	}
+
+	// Part 2: the Section V questions on the paper's illustrative machine.
+	pb := opt.NBody{M: machine.Illustrative(), N: machine.IllustrativeN, F: nbody.FlopsPerPair}
+	m0 := pb.OptimalMemory()
+	lo, hi := pb.MinEnergyProcRange()
+	fmt.Printf("\nSection V on the illustrative machine (n=%.0f):\n", pb.N)
+	fmt.Printf("  M0 = %.4g words, E* = %.4g J, attainable for p in [%.3g, %.3g]\n",
+		m0, pb.MinEnergy(), lo, hi)
+
+	// With far more processors than the min-energy range allows, the
+	// fastest run must shrink memory below M0 and pay for it in energy.
+	fast := pb.MinTimeConfig(1000)
+	fmt.Printf("  fastest run (p=%.3g, 2D limit): T = %.4g s but E = %.4g J (%.1f%% above E*)\n",
+		fast.P, pb.Time(fast.P, fast.Mem), pb.Energy(fast.Mem),
+		100*(pb.Energy(fast.Mem)/pb.MinEnergy()-1))
+
+	budget := pb.Energy(m0) * 1.25
+	cfg, tt, err := pb.MinTimeGivenEnergy(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fastest run within 1.25·E*: p = %.4g, M = %.4g, T = %.4g s\n", cfg.P, cfg.Mem, tt)
+	fmt.Println("\n\"race to halt\" is not the energy-optimal policy in this model.")
+}

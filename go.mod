@@ -1,0 +1,3 @@
+module perfscale
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package casestudy reproduces Section VI of the paper: the dual-socket
+// Sandy Bridge ("Jaketown") case study. It derives the Table I model
+// parameters, generates the Figure 6 and Figure 7 efficiency-scaling
+// curves for 2.5D matrix multiplication, and recomputes Table II.
+package casestudy
+
+import (
+	"math"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+)
+
+// CaseN is the problem size of the Section VI study (n = 35000).
+const CaseN = 35000
+
+// CaseP is the processor count: the two sockets of the server.
+const CaseP = 2
+
+// Memory returns the per-processor memory the study's energy model uses:
+// the 2.5D algorithm can exploit at most M = n²/p^(2/3), which is far below
+// the server's 64 GB per socket, so the model clamps there. (The paper
+// notes the configuration is "outside the theoretical region of strong
+// scaling"; clamping at the 3D limit is the choice that reproduces both of
+// its Figure 6/7 observations — βe scaling having almost no effect, and the
+// joint scaling reaching ≈75 GFLOPS/W after 5 generations.)
+func Memory() float64 {
+	jk := machine.Jaketown()
+	limit := float64(CaseN) * float64(CaseN) / math.Pow(CaseP, 2.0/3.0)
+	return math.Min(jk.MemWords, limit)
+}
+
+// Efficiency returns the modeled GFLOPS/W of 2.5D matmul on machine m at
+// the case-study configuration.
+func Efficiency(m machine.Params) float64 {
+	return core.MatMulClassical(m, CaseN, CaseP, Memory()).GFLOPSPerWatt()
+}
+
+// Fig6Point is one point of Figure 6: the modeled efficiency after
+// halving a single energy parameter `Generation` times.
+type Fig6Point struct {
+	Generation int
+	Field      machine.EnergyField
+	Efficiency float64
+}
+
+// Fig6Fields are the parameters Figure 6 scales independently. (The body
+// text mentions αe as well, but Table I sets αe = 0, so scaling it is a
+// no-op; the figure itself plots γe, βe and δe.)
+var Fig6Fields = []machine.EnergyField{
+	machine.FieldGammaE, machine.FieldBetaE, machine.FieldDeltaE,
+}
+
+// Fig6 generates the Figure 6 series: for each of γe, βe, δe, the modeled
+// GFLOPS/W after 0..generations halvings of that parameter alone.
+func Fig6(generations int) []Fig6Point {
+	jk := machine.Jaketown()
+	var out []Fig6Point
+	for _, f := range Fig6Fields {
+		for g := 0; g <= generations; g++ {
+			scaled := jk.AfterGenerations(g, f)
+			out = append(out, Fig6Point{Generation: g, Field: f, Efficiency: Efficiency(scaled)})
+		}
+	}
+	return out
+}
+
+// Fig7Point is one point of Figure 7: efficiency with γe, βe and δe all
+// halved together.
+type Fig7Point struct {
+	Generation int
+	// Multiplier is the improvement factor over current technology, 2^g.
+	Multiplier float64
+	Efficiency float64
+}
+
+// Fig7 generates the Figure 7 series: the modeled GFLOPS/W after scaling
+// γe, βe and δe jointly by 2^-g.
+func Fig7(generations int) []Fig7Point {
+	jk := machine.Jaketown()
+	out := make([]Fig7Point, 0, generations+1)
+	for g := 0; g <= generations; g++ {
+		scaled := jk.AfterGenerations(g, Fig6Fields...)
+		out = append(out, Fig7Point{
+			Generation: g,
+			Multiplier: math.Pow(2, float64(g)),
+			Efficiency: Efficiency(scaled),
+		})
+	}
+	return out
+}
+
+// GenerationsToTarget returns the first generation at which jointly halving
+// γe, βe, δe reaches the target efficiency (GFLOPS/W), or -1 if not within
+// maxGen. The paper's headline: ≈75 GFLOPS/W after 5 generations.
+func GenerationsToTarget(target float64, maxGen int) int {
+	for _, pt := range Fig7(maxGen) {
+		if pt.Efficiency >= target {
+			return pt.Generation
+		}
+	}
+	return -1
+}
+
+// SaturationEfficiency returns the limit of Figure 6's single-parameter
+// curve for field f: the efficiency with that parameter driven to zero.
+// Scaling one parameter "saturates" because the others still consume
+// energy.
+func SaturationEfficiency(f machine.EnergyField) float64 {
+	jk := machine.Jaketown().ScaleEnergy(0, f)
+	return Efficiency(jk)
+}
+
+// Table1Row is one derived-versus-printed parameter of Table I.
+type Table1Row struct {
+	Name    string
+	Derived float64 // recomputed from raw hardware characteristics
+	Printed float64 // value as printed in Table I
+}
+
+// Table1 recomputes the derivable Table I parameters from the raw hardware
+// characteristics and pairs them with the printed values.
+func Table1() []Table1Row {
+	raw := machine.JaketownSpec()
+	jk := machine.Jaketown()
+	return []Table1Row{
+		{Name: "gamma_t (s/flop)", Derived: raw.DerivedGammaT(), Printed: jk.GammaT},
+		{Name: "beta_t (s/word)", Derived: raw.DerivedBetaT(), Printed: jk.BetaT},
+		{Name: "alpha_t (s/msg)", Derived: raw.LinkLatencySec, Printed: jk.AlphaT},
+		{Name: "gamma_e (J/flop)", Derived: raw.DerivedGammaE(), Printed: jk.GammaE},
+	}
+}
+
+// Table2Row is one device of Table II with recomputed derived columns.
+type Table2Row struct {
+	Device                     machine.DeviceSpec
+	PeakGFLOPS                 float64
+	GammaT, GammaE             float64
+	GFLOPSPerW                 float64
+	PeakErr, GammaEErr, EffErr float64 // relative error vs printed values
+}
+
+// Table2 recomputes the derived columns of Table II for every device.
+func Table2() []Table2Row {
+	devices := machine.TableIIDevices()
+	rows := make([]Table2Row, 0, len(devices))
+	for _, d := range devices {
+		rows = append(rows, Table2Row{
+			Device:     d,
+			PeakGFLOPS: d.PeakGFLOPS(),
+			GammaT:     d.GammaT(),
+			GammaE:     d.GammaE(),
+			GFLOPSPerW: d.GFLOPSPerWatt(),
+			PeakErr:    relErr(d.PeakGFLOPS(), d.PaperPeakGFLOPS),
+			GammaEErr:  relErr(d.GammaE(), d.PaperGammaE),
+			EffErr:     relErr(d.GFLOPSPerWatt(), d.PaperGFLOPSPerW),
+		})
+	}
+	return rows
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

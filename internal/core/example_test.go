@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"fmt"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+)
+
+// Example demonstrates the paper's headline: inside the replication range,
+// quadrupling the processors quarters the runtime at identical energy.
+func Example() {
+	m := machine.Jaketown()
+	const n = 16384
+	mem := float64(n) * n / 64 // one matrix copy over 64 processors
+
+	base := core.MatMulClassical(m, n, 64, mem)
+	quad := core.MatMulClassical(m, n, 256, mem)
+	fmt.Printf("time ratio:   %.2f\n", base.TotalTime()/quad.TotalTime())
+	fmt.Printf("energy ratio: %.2f\n", quad.TotalEnergy()/base.TotalEnergy())
+	// Output:
+	// time ratio:   4.00
+	// energy ratio: 1.00
+}

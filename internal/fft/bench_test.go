@@ -1,0 +1,24 @@
+package fft
+
+import "testing"
+
+func benchmarkSerial(b *testing.B, n int) {
+	x := RandomSignal(n, 1)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Serial(x)
+	}
+}
+
+func BenchmarkSerial1k(b *testing.B)  { benchmarkSerial(b, 1<<10) }
+func BenchmarkSerial64k(b *testing.B) { benchmarkSerial(b, 1<<16) }
+
+func BenchmarkConvolve4k(b *testing.B) {
+	x := RandomSignal(1<<12, 1)
+	y := RandomSignal(1<<12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Convolve(x, y)
+	}
+}

@@ -1,0 +1,168 @@
+// Package hetero extends the energy model to heterogeneous machines, the
+// direction the paper points at in Section III via its citation of
+// "Communication Bounds for Heterogeneous Architectures" (Ballard, Demmel,
+// Gearhart): processors with different speeds, link parameters and
+// memories. Work is partitioned so every processor finishes together —
+// each processor's share is proportional to its effective throughput with
+// communication folded in — and the energy model of Eq. 2 is summed with
+// per-processor parameters.
+//
+// The package also answers the question heterogeneity makes interesting:
+// whether using *all* processors is worth it. A slow, power-hungry device
+// barely shortens the runtime but leaks energy for the whole run, so the
+// energy-optimal ensemble is often a subset.
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perfscale/internal/machine"
+)
+
+// Proc is one processor of a heterogeneous ensemble, carrying its own copy
+// of every model parameter.
+type Proc struct {
+	// Name identifies the device ("gpu0", "bigcore", ...).
+	Name string
+	// GammaT/BetaT/AlphaT are the per-flop/word/message times.
+	GammaT, BetaT, AlphaT float64
+	// GammaE/BetaE/AlphaE/DeltaE/EpsilonE are the energy parameters.
+	GammaE, BetaE, AlphaE, DeltaE, EpsilonE float64
+	// MemWords is the processor's usable memory M_i.
+	MemWords float64
+	// MaxMsgWords is its m_i.
+	MaxMsgWords float64
+}
+
+// effSecondsPerFlop returns the processor's time per matmul flop with its
+// communication folded in: γt_i + (βt_i + αt_i/m_i)/√M_i, from
+// T_i = γt_i·F_i + βt'_i·F_i/√M_i (each processor runs at its own
+// communication-optimal blocking W_i = F_i/√M_i).
+func (p Proc) effSecondsPerFlop() float64 {
+	return p.GammaT + (p.BetaT+p.AlphaT/p.MaxMsgWords)/math.Sqrt(p.MemWords)
+}
+
+// effJoulesPerFlop returns the processor's flop-proportional energy:
+// γe_i + (βe_i + αe_i/m_i)/√M_i.
+func (p Proc) effJoulesPerFlop() float64 {
+	return p.GammaE + (p.BetaE+p.AlphaE/p.MaxMsgWords)/math.Sqrt(p.MemWords)
+}
+
+// Partition is the result of dividing a workload across an ensemble.
+type Partition struct {
+	// Shares[i] is the flop count assigned to procs[i] (same order).
+	Shares []float64
+	// Time is the common finish time.
+	Time float64
+	// Energy is the total Eq. 2 energy summed over processors.
+	Energy float64
+}
+
+// PartitionFlops divides totalFlops so every processor finishes at the same
+// instant — the max-time-minimizing split. With T_i = s_i·F_i (s_i the
+// effective seconds per flop), equal finish means F_i ∝ 1/s_i:
+//
+//	T = totalFlops / Σ_i (1/s_i),   F_i = T/s_i.
+//
+// Any other split must give some processor more than F_i and therefore a
+// later finish, so this is optimal.
+func PartitionFlops(procs []Proc, totalFlops float64) (Partition, error) {
+	if len(procs) == 0 {
+		return Partition{}, fmt.Errorf("hetero: empty ensemble")
+	}
+	if totalFlops <= 0 {
+		return Partition{}, fmt.Errorf("hetero: non-positive work %g", totalFlops)
+	}
+	invSum := 0.0
+	for i, p := range procs {
+		s := p.effSecondsPerFlop()
+		if s <= 0 || p.MemWords <= 0 || p.MaxMsgWords <= 0 {
+			return Partition{}, fmt.Errorf("hetero: processor %d (%s) has invalid parameters", i, p.Name)
+		}
+		invSum += 1 / s
+	}
+	T := totalFlops / invSum
+	part := Partition{Shares: make([]float64, len(procs)), Time: T}
+	for i, p := range procs {
+		part.Shares[i] = T / p.effSecondsPerFlop()
+	}
+	part.Energy = EnsembleEnergy(procs, part.Shares, T)
+	return part, nil
+}
+
+// EnsembleEnergy sums Eq. 2 with per-processor parameters: each processor
+// pays for its own flops and words, and holds its memory powered and its
+// circuits leaking for the full runtime T (it cannot sleep while peers
+// finish — the conservative assumption matching the paper's model).
+func EnsembleEnergy(procs []Proc, shares []float64, T float64) float64 {
+	e := 0.0
+	for i, p := range procs {
+		f := shares[i]
+		e += p.effJoulesPerFlop()*f + p.DeltaE*p.MemWords*T + p.EpsilonE*T
+	}
+	return e
+}
+
+// BestSubset searches the energy-minimizing sub-ensemble for totalFlops of
+// work, optionally under a deadline (tMax = 0 means none). Processors are
+// ordered by effective speed and prefixes of that order are evaluated — the
+// exchange argument for this model: if a processor is worth including, so
+// is every faster one, because a faster processor strictly reduces T (every
+// static term) while adding at most the same static cost. Returns the
+// chosen processors (by index into procs) and the partition.
+func BestSubset(procs []Proc, totalFlops, tMax float64) ([]int, Partition, error) {
+	if len(procs) == 0 {
+		return nil, Partition{}, fmt.Errorf("hetero: empty ensemble")
+	}
+	order := make([]int, len(procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return procs[order[a]].effSecondsPerFlop() < procs[order[b]].effSecondsPerFlop()
+	})
+	bestIdx := []int(nil)
+	var best Partition
+	found := false
+	for k := 1; k <= len(order); k++ {
+		subset := order[:k]
+		sub := make([]Proc, k)
+		for i, idx := range subset {
+			sub[i] = procs[idx]
+		}
+		part, err := PartitionFlops(sub, totalFlops)
+		if err != nil {
+			return nil, Partition{}, err
+		}
+		if tMax > 0 && part.Time > tMax {
+			continue
+		}
+		// Prefer the larger ensemble on energy ties: homogeneous additions
+		// inside a perfect-scaling region cost *no additional energy* (the
+		// paper's theorem), so take the speed.
+		if !found || part.Energy < best.Energy*(1+1e-12) {
+			found = true
+			best = part
+			bestIdx = append([]int(nil), subset...)
+		}
+	}
+	if !found {
+		return nil, Partition{}, fmt.Errorf("hetero: no subset meets the deadline %g", tMax)
+	}
+	return bestIdx, best, nil
+}
+
+// FromDevice converts a Table II device into an ensemble member, pairing
+// its derived compute parameters with the given link and memory
+// characteristics (the survey says nothing about interconnects).
+func FromDevice(d machine.DeviceSpec, betaT, alphaT, betaE, alphaE, deltaE, epsilonE, memWords, maxMsg float64) Proc {
+	return Proc{
+		Name:   d.Name,
+		GammaT: d.GammaT(), BetaT: betaT, AlphaT: alphaT,
+		GammaE: d.GammaE(), BetaE: betaE, AlphaE: alphaE,
+		DeltaE: deltaE, EpsilonE: epsilonE,
+		MemWords: memWords, MaxMsgWords: maxMsg,
+	}
+}

@@ -1,0 +1,253 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/machine"
+)
+
+func fastProc() Proc {
+	return Proc{Name: "fast", GammaT: 1e-12, BetaT: 1e-10, AlphaT: 1e-7,
+		GammaE: 1e-10, BetaE: 1e-10, DeltaE: 1e-9, EpsilonE: 1,
+		MemWords: 1 << 30, MaxMsgWords: 1 << 20}
+}
+
+func slowProc() Proc {
+	p := fastProc()
+	p.Name = "slow"
+	p.GammaT *= 10
+	return p
+}
+
+func approx(got, want, rel float64) bool {
+	if want == 0 {
+		return math.Abs(got) < rel
+	}
+	return math.Abs(got-want)/math.Abs(want) < rel
+}
+
+func TestHomogeneousSplitsEvenly(t *testing.T) {
+	procs := []Proc{fastProc(), fastProc(), fastProc(), fastProc()}
+	part, err := PartitionFlops(procs, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range part.Shares {
+		if !approx(f, 2.5e11, 1e-12) {
+			t.Errorf("share %d = %g, want 2.5e11", i, f)
+		}
+	}
+	// T equals the homogeneous per-proc time.
+	want := 2.5e11 * procs[0].effSecondsPerFlop()
+	if !approx(part.Time, want, 1e-12) {
+		t.Errorf("T = %g, want %g", part.Time, want)
+	}
+}
+
+func TestSharesProportionalToSpeed(t *testing.T) {
+	procs := []Proc{fastProc(), slowProc()}
+	part, err := PartitionFlops(procs, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := part.Shares[0] / part.Shares[1]
+	want := procs[1].effSecondsPerFlop() / procs[0].effSecondsPerFlop()
+	if !approx(ratio, want, 1e-12) {
+		t.Errorf("share ratio %g, want speed ratio %g", ratio, want)
+	}
+	// Shares conserve the total.
+	if !approx(part.Shares[0]+part.Shares[1], 1e12, 1e-12) {
+		t.Error("shares must sum to the workload")
+	}
+	// Equal finish: both processors take exactly T.
+	for i, p := range procs {
+		if !approx(part.Shares[i]*p.effSecondsPerFlop(), part.Time, 1e-12) {
+			t.Errorf("processor %d does not finish at T", i)
+		}
+	}
+}
+
+func TestEqualFinishIsOptimal(t *testing.T) {
+	// Moving work from one processor to another must raise the max time.
+	procs := []Proc{fastProc(), slowProc()}
+	part, err := PartitionFlops(procs, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{1e9, -1e9} {
+		t0 := (part.Shares[0] + delta) * procs[0].effSecondsPerFlop()
+		t1 := (part.Shares[1] - delta) * procs[1].effSecondsPerFlop()
+		if math.Max(t0, t1) <= part.Time {
+			t.Errorf("perturbation %g should not improve the makespan", delta)
+		}
+	}
+}
+
+func TestHeterogeneousBeatsFastAlone(t *testing.T) {
+	// Adding the slow processor still shortens the runtime (it takes some
+	// work), even if not by much.
+	fast := []Proc{fastProc()}
+	both := []Proc{fastProc(), slowProc()}
+	pf, err := PartitionFlops(fast, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := PartitionFlops(both, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Time >= pf.Time {
+		t.Errorf("two processors should beat one: %g vs %g", pb.Time, pf.Time)
+	}
+	// Ideal: T falls by the throughput ratio ≈ 10/11 (the communication
+	// term shifts it by a fraction of a percent).
+	if !approx(pb.Time, pf.Time*10/11, 1e-2) {
+		t.Errorf("T ratio %g, want ≈10/11", pb.Time/pf.Time)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := PartitionFlops(nil, 1); err == nil {
+		t.Error("empty ensemble should be rejected")
+	}
+	if _, err := PartitionFlops([]Proc{fastProc()}, 0); err == nil {
+		t.Error("zero work should be rejected")
+	}
+	bad := fastProc()
+	bad.MemWords = 0
+	if _, err := PartitionFlops([]Proc{bad}, 1); err == nil {
+		t.Error("invalid processor should be rejected")
+	}
+}
+
+func TestBestSubsetDropsPowerHog(t *testing.T) {
+	// A slow processor with enormous leakage: it shortens the runtime a
+	// little but burns leakage the whole run — the energy optimum excludes
+	// it.
+	hog := slowProc()
+	hog.Name = "hog"
+	hog.EpsilonE = 1e5
+	procs := []Proc{fastProc(), hog}
+	idx, part, err := BestSubset(procs, 1e12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Errorf("energy optimum should use only the fast processor, got %v", idx)
+	}
+	// But with a deadline only the full ensemble can meet, it is included.
+	full, err := PartitionFlops(procs, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := full.Time * 1.001 // below the fast-alone time
+	idx2, part2, err := BestSubset(procs, 1e12, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx2) != 2 {
+		t.Errorf("deadline should force both processors, got %v", idx2)
+	}
+	if part2.Energy <= part.Energy {
+		t.Error("meeting the deadline must cost energy")
+	}
+}
+
+func TestBestSubsetKeepsEfficientHelpers(t *testing.T) {
+	// A second identical processor halves the runtime and therefore halves
+	// every static (δe·M + εe)·T term per processor — total energy is
+	// EXACTLY unchanged. That is the paper's headline ("no additional
+	// energy") emerging from the heterogeneous model; the subset search
+	// prefers the faster ensemble on the tie.
+	procs := []Proc{fastProc(), fastProc()}
+	one, err := PartitionFlops(procs[:1], 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := PartitionFlops(procs, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(two.Energy, one.Energy, 1e-12) {
+		t.Errorf("twin should cost no additional energy: %g vs %g", two.Energy, one.Energy)
+	}
+	if !approx(two.Time, one.Time/2, 1e-12) {
+		t.Errorf("twin should halve the runtime: %g vs %g", two.Time, one.Time)
+	}
+	idx, _, err := BestSubset(procs, 1e12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Errorf("identical twin should be included, got %v", idx)
+	}
+}
+
+func TestBestSubsetDeadlineInfeasible(t *testing.T) {
+	if _, _, err := BestSubset([]Proc{fastProc()}, 1e12, 1e-9); err == nil {
+		t.Error("impossible deadline should be reported")
+	}
+}
+
+func TestEnsembleEnergyAccounting(t *testing.T) {
+	p := fastProc()
+	shares := []float64{1e10}
+	T := 7.0
+	got := EnsembleEnergy([]Proc{p}, shares, T)
+	want := p.effJoulesPerFlop()*1e10 + p.DeltaE*p.MemWords*T + p.EpsilonE*T
+	if !approx(got, want, 1e-12) {
+		t.Errorf("energy %g, want %g", got, want)
+	}
+}
+
+func TestTableIIEnsemble(t *testing.T) {
+	// Partition a workload across three Table II devices: the GTX 590, the
+	// Sandy Bridge and the 2 GHz Cortex-A9. Shares must order by speed and
+	// the GPU must dominate.
+	devices := machineDevices(t, "Nvidia GTX590", "Intel Sandy Bridge 2687W", "ARM Cortex A9 (2.0GHz)")
+	procs := make([]Proc, len(devices))
+	for i, d := range devices {
+		procs[i] = FromDevice(d, 1e-10, 1e-7, 1e-10, 0, 1e-9, 0.1, 1<<30, 1<<20)
+	}
+	part, err := PartitionFlops(procs, 1e13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(part.Shares[0] > part.Shares[1] && part.Shares[1] > part.Shares[2]) {
+		t.Errorf("shares should order by device speed: %v", part.Shares)
+	}
+	if part.Shares[0] < 0.8*1e13 {
+		t.Errorf("the GPU should take the bulk of the work: %v", part.Shares)
+	}
+	// The A9 contributes so little that, under the energy objective with
+	// its leakage running for the whole job, dropping it is no loss.
+	idx, _, err := BestSubset(procs, 1e13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range idx {
+		if procs[i].Name == "ARM Cortex A9 (2.0GHz)" && len(idx) < len(procs) {
+			t.Errorf("subset %v unexpectedly keeps the A9 while dropping others", idx)
+		}
+	}
+}
+
+func machineDevices(t *testing.T, names ...string) []machine.DeviceSpec {
+	t.Helper()
+	var out []machine.DeviceSpec
+	for _, want := range names {
+		found := false
+		for _, d := range machine.TableIIDevices() {
+			if d.Name == want {
+				out = append(out, d)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("device %q not in Table II", want)
+		}
+	}
+	return out
+}

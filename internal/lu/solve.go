@@ -1,0 +1,56 @@
+package lu
+
+import (
+	"fmt"
+
+	"perfscale/internal/matrix"
+)
+
+// Solve returns x with A·x = b, given the unit-lower L and upper U factors
+// of A: forward substitution L·y = b, then back substitution U·x = y.
+// b may have multiple right-hand-side columns.
+func Solve(l, u, b *matrix.Dense) (*matrix.Dense, error) {
+	n := l.Rows
+	if l.Cols != n || u.Rows != n || u.Cols != n {
+		return nil, fmt.Errorf("lu: factor shapes %dx%d / %dx%d", l.Rows, l.Cols, u.Rows, u.Cols)
+	}
+	if b.Rows != n {
+		return nil, fmt.Errorf("lu: rhs has %d rows, want %d", b.Rows, n)
+	}
+	x := b.Clone()
+	// Forward: L·y = b (unit diagonal).
+	matrix.TriSolveLowerUnit(l, x)
+	// Back: U·x = y.
+	for j := 0; j < x.Cols; j++ {
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, j)
+			for k := i + 1; k < n; k++ {
+				s -= u.At(i, k) * x.At(k, j)
+			}
+			uii := u.At(i, i)
+			if uii == 0 {
+				return nil, fmt.Errorf("lu: singular U at %d", i)
+			}
+			x.Set(i, j, s/uii)
+		}
+	}
+	return x, nil
+}
+
+// SolveFactored factors A (without pivoting; caller guarantees stability)
+// and solves A·x = b in one call — the end-to-end path a downstream user
+// takes.
+func SolveFactored(a, b *matrix.Dense, panel int) (*matrix.Dense, error) {
+	l, u, err := SerialBlocked(a, panel)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(l, u, b)
+}
+
+// Solve solves A·x = b using this distributed factorization's assembled
+// factors (the solve itself is serial; the paper's LU discussion concerns
+// the factorization's communication, which dominates).
+func (r *Result) Solve(b *matrix.Dense) (*matrix.Dense, error) {
+	return Solve(r.L, r.U, b)
+}

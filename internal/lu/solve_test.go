@@ -1,0 +1,77 @@
+package lu
+
+import (
+	"testing"
+
+	"perfscale/internal/matrix"
+)
+
+func TestSolveRecoversKnownSolution(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 33} {
+		a := matrix.RandomDiagDominant(n, int64(n)+21)
+		xWant := matrix.Random(n, 3, int64(n)+22)
+		b := matrix.Mul(a, xWant)
+		x, err := SolveFactored(a, b, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := x.MaxAbsDiff(xWant); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: solution error %g", n, d)
+		}
+	}
+}
+
+func TestSolveResidual(t *testing.T) {
+	n := 24
+	a := matrix.RandomDiagDominant(n, 31)
+	b := matrix.Random(n, 1, 32)
+	x, err := SolveFactored(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := matrix.Mul(a, x)
+	r.Sub(b)
+	if d := r.MaxAbs(); d > 1e-9*float64(n) {
+		t.Errorf("residual %g", d)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	l, u, err := SerialBlocked(matrix.RandomDiagDominant(4, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(l, u, matrix.New(5, 1)); err == nil {
+		t.Error("rhs row mismatch should error")
+	}
+	if _, err := Solve(matrix.New(4, 3), u, matrix.New(4, 1)); err == nil {
+		t.Error("non-square L should error")
+	}
+}
+
+func TestSolveSingularU(t *testing.T) {
+	l := matrix.Identity(3)
+	u := matrix.New(3, 3) // zero diagonal
+	if _, err := Solve(l, u, matrix.New(3, 1)); err == nil {
+		t.Error("singular U should error")
+	}
+}
+
+func TestDistributedResultSolve(t *testing.T) {
+	// End to end: distributed factorization, then solve.
+	n := 16
+	a := matrix.RandomDiagDominant(n, 41)
+	res, err := Stacked(zeroCost, 4, 2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xWant := matrix.Random(n, 2, 42)
+	b := matrix.Mul(a, xWant)
+	x, err := res.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := x.MaxAbsDiff(xWant); d > 1e-8*float64(n) {
+		t.Errorf("distributed-factor solve error %g", d)
+	}
+}

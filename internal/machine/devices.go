@@ -1,0 +1,125 @@
+package machine
+
+// DeviceSpec is one row of the paper's Table II: a processing device
+// described by the raw characteristics from which the paper derives its
+// peak throughput, γt, γe and GFLOPS/W columns.
+//
+// Peak single-precision throughput is
+//
+//	freq × cores × SIMD × issue  (+ the same product for an on-package GPU)
+//
+// where issue is the number of vector operations retired per cycle (2 for
+// the x86 and NVIDIA devices, which co-issue a multiply and an add; 1 for
+// the ARM cores). The Ivy Bridge rows fold in the on-package HD 4000 GPU
+// (0.65 GHz × 16 EUs × 8 lanes), matching the parenthesized entries of the
+// printed table.
+type DeviceSpec struct {
+	Name     string
+	FreqGHz  float64
+	Cores    int
+	SIMD     int
+	Issue    int // vector ops per cycle (mul+add dual issue = 2)
+	TDPWatts float64
+
+	// Optional on-package GPU (Ivy Bridge rows).
+	GPUFreqGHz float64
+	GPUCores   int
+	GPUSIMD    int
+	GPUIssue   int
+
+	// Columns as printed in Table II, used to validate our derivations.
+	PaperPeakGFLOPS float64
+	PaperGammaT     float64 // s/flop
+	PaperGammaE     float64 // J/flop
+	PaperGFLOPSPerW float64
+}
+
+// PeakGFLOPS recomputes the peak single-precision throughput column.
+func (d DeviceSpec) PeakGFLOPS() float64 {
+	peak := d.FreqGHz * float64(d.Cores) * float64(d.SIMD) * float64(d.Issue)
+	if d.GPUCores > 0 {
+		peak += d.GPUFreqGHz * float64(d.GPUCores) * float64(d.GPUSIMD) * float64(d.GPUIssue)
+	}
+	return peak
+}
+
+// GammaT recomputes the seconds-per-flop column: 1/peak.
+func (d DeviceSpec) GammaT() float64 { return 1 / (d.PeakGFLOPS() * 1e9) }
+
+// GammaE recomputes the joules-per-flop column: TDP/peak.
+func (d DeviceSpec) GammaE() float64 { return d.TDPWatts / (d.PeakGFLOPS() * 1e9) }
+
+// GFLOPSPerWatt recomputes the efficiency column: peak/TDP.
+func (d DeviceSpec) GFLOPSPerWatt() float64 { return d.PeakGFLOPS() / d.TDPWatts }
+
+// Params converts the device into a single-level machine parameter set with
+// only the compute parameters populated (Table II says nothing about the
+// devices' interconnects); memory is set to memWords and communication
+// parameters to the provided link characteristics.
+func (d DeviceSpec) Params(betaT, alphaT, betaE, alphaE, deltaE, epsilonE, memWords, maxMsg float64) Params {
+	return Params{
+		Name:        d.Name,
+		GammaT:      d.GammaT(),
+		BetaT:       betaT,
+		AlphaT:      alphaT,
+		GammaE:      d.GammaE(),
+		BetaE:       betaE,
+		AlphaE:      alphaE,
+		DeltaE:      deltaE,
+		EpsilonE:    epsilonE,
+		MemWords:    memWords,
+		MaxMsgWords: maxMsg,
+	}
+}
+
+// TableIIDevices returns every row of the paper's Table II.
+func TableIIDevices() []DeviceSpec {
+	return []DeviceSpec{
+		{
+			Name: "Intel Sandy Bridge 2687W", FreqGHz: 3.1, Cores: 8, SIMD: 8, Issue: 2, TDPWatts: 150,
+			PaperPeakGFLOPS: 396.80, PaperGammaT: 2.52e-12, PaperGammaE: 3.78e-10, PaperGFLOPSPerW: 2.645,
+		},
+		{
+			Name: "Intel Ivy Bridge 3770K", FreqGHz: 3.5, Cores: 4, SIMD: 8, Issue: 2, TDPWatts: 77,
+			GPUFreqGHz: 0.65, GPUCores: 16, GPUSIMD: 8, GPUIssue: 1,
+			PaperPeakGFLOPS: 307.20, PaperGammaT: 3.26e-12, PaperGammaE: 2.51e-10, PaperGFLOPSPerW: 3.990,
+		},
+		{
+			Name: "Intel Ivy Bridge 3770T", FreqGHz: 2.5, Cores: 4, SIMD: 8, Issue: 2, TDPWatts: 45,
+			GPUFreqGHz: 0.65, GPUCores: 16, GPUSIMD: 8, GPUIssue: 1,
+			PaperPeakGFLOPS: 243.20, PaperGammaT: 4.11e-12, PaperGammaE: 1.85e-10, PaperGFLOPSPerW: 5.404,
+		},
+		{
+			Name: "Intel Westmere-EX E7-8870", FreqGHz: 2.4, Cores: 10, SIMD: 4, Issue: 2, TDPWatts: 130,
+			PaperPeakGFLOPS: 192.00, PaperGammaT: 5.21e-12, PaperGammaE: 6.77e-10, PaperGFLOPSPerW: 1.477,
+		},
+		{
+			Name: "Intel Beckton X7560", FreqGHz: 2.26, Cores: 8, SIMD: 4, Issue: 2, TDPWatts: 130,
+			PaperPeakGFLOPS: 144.64, PaperGammaT: 6.91e-12, PaperGammaE: 8.99e-10, PaperGFLOPSPerW: 1.113,
+		},
+		{
+			Name: "Intel Atom D2500", FreqGHz: 1.86, Cores: 2, SIMD: 4, Issue: 2, TDPWatts: 10,
+			PaperPeakGFLOPS: 29.76, PaperGammaT: 3.36e-11, PaperGammaE: 3.36e-10, PaperGFLOPSPerW: 2.976,
+		},
+		{
+			Name: "Intel Atom N2800", FreqGHz: 1.86, Cores: 2, SIMD: 4, Issue: 2, TDPWatts: 6.5,
+			PaperPeakGFLOPS: 29.76, PaperGammaT: 3.36e-11, PaperGammaE: 2.18e-10, PaperGFLOPSPerW: 4.578,
+		},
+		{
+			Name: "Nvidia GTX480", FreqGHz: 1.401, Cores: 480, SIMD: 1, Issue: 2, TDPWatts: 250,
+			PaperPeakGFLOPS: 1344.96, PaperGammaT: 7.44e-13, PaperGammaE: 1.86e-10, PaperGFLOPSPerW: 5.380,
+		},
+		{
+			Name: "Nvidia GTX590", FreqGHz: 1.215, Cores: 1024, SIMD: 1, Issue: 2, TDPWatts: 365,
+			PaperPeakGFLOPS: 2488.32, PaperGammaT: 4.02e-13, PaperGammaE: 1.47e-10, PaperGFLOPSPerW: 6.817,
+		},
+		{
+			Name: "ARM Cortex A9 (2.0GHz)", FreqGHz: 2.0, Cores: 2, SIMD: 2, Issue: 1, TDPWatts: 1.9,
+			PaperPeakGFLOPS: 8.00, PaperGammaT: 1.25e-10, PaperGammaE: 2.38e-10, PaperGFLOPSPerW: 4.211,
+		},
+		{
+			Name: "ARM Cortex A9 (0.8GHz)", FreqGHz: 0.8, Cores: 2, SIMD: 2, Issue: 1, TDPWatts: 0.5,
+			PaperPeakGFLOPS: 3.20, PaperGammaT: 3.13e-10, PaperGammaE: 1.56e-10, PaperGFLOPSPerW: 6.400,
+		},
+	}
+}

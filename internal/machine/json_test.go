@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Jaketown()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"gamma_t"`) {
+		t.Errorf("schema should use symbol names: %s", data)
+	}
+	var back Params
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip changed params:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine.json")
+	orig := Illustrative()
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Error("file round trip changed params")
+	}
+}
+
+func TestLoadFileValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := Jaketown()
+	bad.GammaT = -1
+	data, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("invalid parameters should be rejected on load")
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := writeFile(path, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if p, err := Resolve("jaketown"); err != nil || p.Name != "jaketown" {
+		t.Errorf("preset resolve failed: %v %v", p.Name, err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := SimDefault().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := Resolve(path); err != nil || p.Name != "simdefault" {
+		t.Errorf("file resolve failed: %v %v", p.Name, err)
+	}
+	if _, err := Resolve("nonsense"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

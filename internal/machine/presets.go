@@ -1,0 +1,168 @@
+package machine
+
+import "fmt"
+
+// Jaketown returns the Table I parameter set of the paper's Section VI case
+// study: one socket of a dual-socket Intel Sandy Bridge-EP ("Jaketown")
+// server. Values are encoded exactly as printed in Table I; see
+// JaketownSpec for the raw hardware numbers they were derived from.
+func Jaketown() Params {
+	return Params{
+		Name:        "jaketown",
+		GammaT:      2.5202e-12, // s/flop: 1 / 396.8 GFLOP/s peak SP
+		BetaT:       1.56e-10,   // s/word: 4 B words over the 25.6 GB/s QPI link
+		AlphaT:      6.00e-8,    // s/msg: QPI link latency
+		GammaE:      3.78024e-10,
+		BetaE:       3.78024e-10,
+		AlphaE:      0,
+		DeltaE:      5.7742e-9,
+		EpsilonE:    0, // the paper assumes zero leakage for the case study
+		MemWords:    17179869184,
+		MaxMsgWords: 17179869184,
+	}
+}
+
+// JaketownRaw holds the raw machine characteristics of Table I from which
+// the Jaketown model parameters derive.
+type JaketownRaw struct {
+	CoreFreqGHz    float64
+	SIMDWidth      int // single-precision lanes
+	DataWidthBytes int
+	Cores          int
+	PeakGFLOPS     float64
+	ChipTDPWatts   float64
+	LinkBWGBps     float64 // QPI bandwidth, gigabytes/s
+	LinkLatencySec float64
+	LinkActiveW    float64
+	LinkIdleW      float64
+	DIMMsPerSocket int
+	DIMMPowerWatts float64
+}
+
+// JaketownSpec returns the raw Table I characteristics.
+func JaketownSpec() JaketownRaw {
+	return JaketownRaw{
+		CoreFreqGHz:    3.1,
+		SIMDWidth:      8,
+		DataWidthBytes: 4,
+		Cores:          8,
+		PeakGFLOPS:     396.8,
+		ChipTDPWatts:   150,
+		LinkBWGBps:     25.60,
+		LinkLatencySec: 6.0e-8,
+		LinkActiveW:    2.15,
+		LinkIdleW:      0,
+		DIMMsPerSocket: 8,
+		DIMMPowerWatts: 3.1,
+	}
+}
+
+// DerivedGammaT returns γt computed from the raw specs: the reciprocal of
+// peak single-precision throughput, freq × cores × SIMD × 2 (fused
+// multiply-and-add issue per cycle on Sandy Bridge's two vector ports).
+func (r JaketownRaw) DerivedGammaT() float64 {
+	return 1 / (r.CoreFreqGHz * 1e9 * float64(r.Cores) * float64(r.SIMDWidth) * 2)
+}
+
+// DerivedGammaE returns γe computed from the raw specs as TDP divided by
+// peak flop rate — the paper's deliberately pessimistic choice.
+func (r JaketownRaw) DerivedGammaE() float64 {
+	return r.ChipTDPWatts / (r.PeakGFLOPS * 1e9)
+}
+
+// DerivedBetaT returns βt computed from the raw specs: one 4-byte word over
+// the 25.6 GB/s QPI link.
+func (r JaketownRaw) DerivedBetaT() float64 {
+	return float64(r.DataWidthBytes) / (r.LinkBWGBps * 1e9)
+}
+
+// Illustrative returns the deliberately contrived parameter set used to
+// draw Figure 4. The paper states those plots "use contrived parameters";
+// this set is chosen so that, for IllustrativeN particles and f = 10, the
+// minimum-energy memory is M0 = 2000 words, placing the green minimum-
+// energy line of Figure 4 across p ∈ [n/M0, n²/M0²] = [5, 25] — partway
+// through the plotted axis p ∈ [6, 100], as in the paper's rendering.
+func Illustrative() Params {
+	return Params{
+		Name:        "illustrative",
+		GammaT:      1e-9,
+		BetaT:       1e-8,
+		AlphaT:      1e-6,
+		GammaE:      1e-12, // small flop energy so the M-dependent terms shape the plot
+		BetaE:       2e-8,
+		AlphaE:      1e-6,
+		DeltaE:      5e-7,
+		EpsilonE:    1e-3,
+		MemWords:    1 << 30,
+		MaxMsgWords: 1 << 20,
+	}
+}
+
+// IllustrativeN is the n-body problem size paired with Illustrative for the
+// Figure 4 reproductions.
+const IllustrativeN = 1e4
+
+// SimDefault returns a parameter set convenient for simulator experiments:
+// round numbers, latency large enough that message counts matter, and
+// leakage/memory energies small but nonzero so every model term exercises.
+func SimDefault() Params {
+	return Params{
+		Name:        "simdefault",
+		GammaT:      1e-9,
+		BetaT:       4e-9,
+		AlphaT:      1e-6,
+		GammaE:      1e-9,
+		BetaE:       4e-9,
+		AlphaE:      1e-6,
+		DeltaE:      1e-10,
+		EpsilonE:    1e-2,
+		MemWords:    1 << 28,
+		MaxMsgWords: 1 << 24,
+	}
+}
+
+// JaketownTwoLevel returns a two-level (Figure 2) view of the case-study
+// server: 2 NUMA nodes joined by QPI, 8 cores per node sharing the on-die
+// ring. The intra-node parameters are estimates consistent with Table I
+// (ring bandwidth well above QPI, negligible intra-node latency energy);
+// they exist to exercise Eqs. 12 and 17, not to model the die cycle-
+// accurately.
+func JaketownTwoLevel() TwoLevel {
+	jk := Jaketown()
+	return TwoLevel{
+		Name:     "jaketown-2level",
+		GammaT:   jk.GammaT * 8, // per core: 1/8 of socket throughput
+		GammaE:   jk.GammaE,
+		EpsilonE: 0,
+
+		BetaTN:  jk.BetaT,
+		AlphaTN: jk.AlphaT,
+		BetaEN:  jk.BetaE,
+		AlphaEN: 0,
+		MemN:    jk.MemWords,
+		DeltaEN: jk.DeltaE,
+		MaxMsgN: jk.MaxMsgWords,
+
+		BetaTL:  jk.BetaT / 8, // on-die ring: ~8x QPI bandwidth
+		AlphaTL: jk.AlphaT / 10,
+		BetaEL:  jk.BetaE / 10,
+		AlphaEL: 0,
+		MemL:    2.5 * 1024 * 1024 / 4, // 2.5 MiB LLC slice per core, 4 B words
+		DeltaEL: jk.DeltaE / 10,
+		MaxMsgL: 2.5 * 1024 * 1024 / 4,
+	}
+}
+
+// ByName returns a named preset: "jaketown", "illustrative" or
+// "simdefault". It is the lookup the command-line tools use.
+func ByName(name string) (Params, error) {
+	switch name {
+	case "jaketown":
+		return Jaketown(), nil
+	case "illustrative":
+		return Illustrative(), nil
+	case "simdefault":
+		return SimDefault(), nil
+	}
+	return Params{}, fmt.Errorf("machine: unknown preset %q (want jaketown, illustrative or simdefault)", name)
+}

@@ -1,0 +1,87 @@
+package matmul
+
+import (
+	"fmt"
+
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+// GemvResult bundles the product vector with simulation statistics.
+type GemvResult struct {
+	Y   []float64
+	Sim *sim.Result
+}
+
+// Gemv computes y = A·x on a q×q grid: rank (i,j) holds block A_ij and the
+// x_j slice (replicated down its column), computes the partial product, and
+// the row reduction leaves y_i on column 0. This is the paper's BLAS2
+// example: per-rank communication is Θ(n/√p) — the same order as the
+// input/output data — so extra memory cannot reduce it and there is no
+// perfect-strong-scaling region (Section III's discussion of Eq. 5).
+func Gemv(cost sim.Cost, q int, a *matrix.Dense, x []float64) (*GemvResult, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matmul: gemv needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(x) != n {
+		return nil, fmt.Errorf("matmul: vector length %d != %d", len(x), n)
+	}
+	if q <= 0 || n%q != 0 {
+		return nil, fmt.Errorf("matmul: size %d not divisible by grid %d", n, q)
+	}
+	nb := n / q
+	grid := sim.Grid2D{Rows: q, Cols: q}
+	slices := make([][]float64, q)
+
+	res, err := sim.Run(q*q, cost, func(r *sim.Rank) error {
+		row, col := grid.Coords(r.ID())
+		rowComm, err := grid.RowComm(r)
+		if err != nil {
+			return err
+		}
+		r.Alloc(nb*nb + 2*nb)
+		aBlk := a.Block(row*nb, col*nb, nb, nb)
+		xSlice := x[col*nb : (col+1)*nb]
+
+		// Local partial y_i += A_ij · x_j.
+		partial := make([]float64, nb)
+		for i := 0; i < nb; i++ {
+			s := 0.0
+			for j := 0; j < nb; j++ {
+				s += aBlk.At(i, j) * xSlice[j]
+			}
+			partial[i] = s
+		}
+		r.Compute(2 * float64(nb) * float64(nb))
+
+		// Row-reduce the partials onto column 0.
+		total := rowComm.ReduceLarge(0, partial, sim.OpSum)
+		if col == 0 {
+			slices[row] = total
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	y := make([]float64, n)
+	for i, s := range slices {
+		copy(y[i*nb:(i+1)*nb], s)
+	}
+	return &GemvResult{Y: y, Sim: res}, nil
+}
+
+// SerialGemv returns A·x computed locally.
+func SerialGemv(a *matrix.Dense, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for j := 0; j < a.Cols; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,100 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+func TestGemvMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, q int }{
+		{4, 1}, {8, 2}, {12, 3}, {16, 4}, {24, 4},
+	} {
+		a := matrix.Random(tc.n, tc.n, int64(tc.n)+61)
+		x := matrix.Random(tc.n, 1, int64(tc.n)+62).Data
+		want := SerialGemv(a, x)
+		got, err := Gemv(zeroCost, tc.q, a, x)
+		if err != nil {
+			t.Fatalf("n=%d q=%d: %v", tc.n, tc.q, err)
+		}
+		for i := range want {
+			if math.Abs(got.Y[i]-want[i]) > 1e-11*float64(tc.n) {
+				t.Errorf("n=%d q=%d: y[%d] = %g want %g", tc.n, tc.q, i, got.Y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemvValidation(t *testing.T) {
+	a := matrix.Random(8, 8, 1)
+	if _, err := Gemv(zeroCost, 3, a, make([]float64, 8)); err == nil {
+		t.Error("8 % 3 != 0 should be rejected")
+	}
+	if _, err := Gemv(zeroCost, 2, a, make([]float64, 5)); err == nil {
+		t.Error("vector length mismatch should be rejected")
+	}
+	if _, err := Gemv(zeroCost, 2, matrix.New(4, 6), make([]float64, 6)); err == nil {
+		t.Error("non-square matrix should be rejected")
+	}
+}
+
+func TestGemvCommunicationIsIOSized(t *testing.T) {
+	// The BLAS2 story: per-rank words are Θ(n/√p) — the size of the
+	// vector slices — and grow with neither M nor n²/p.
+	const n = 64
+	a := matrix.Random(n, n, 63)
+	x := matrix.Random(n, 1, 64).Data
+	for _, q := range []int{2, 4} {
+		res, err := Gemv(zeroCost, q, a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := res.Sim.MaxStats().WordsSent
+		slice := float64(n / q)
+		if words > 3*slice {
+			t.Errorf("q=%d: per-rank words %g should be O(n/q) = %g", q, words, slice)
+		}
+	}
+}
+
+func TestGemvNoPerfectScalingInEnergy(t *testing.T) {
+	// Model check: GEMV bandwidth energy grows as √p at fixed n — adding
+	// processors costs energy, unlike the matmul/n-body regions.
+	m := machine.SimDefault()
+	e1 := core.Eval(m, bounds.GEMV(1<<14, 16, m.MaxMsgWords), 16, 1<<24).Energy.Bandwidth
+	e2 := core.Eval(m, bounds.GEMV(1<<14, 64, m.MaxMsgWords), 64, 1<<22).Energy.Bandwidth
+	if e2 <= e1 {
+		t.Errorf("GEMV bandwidth energy should grow with p: %g -> %g", e1, e2)
+	}
+	// And the no-scaling ratio is Θ(1) for any n, p.
+	for _, n := range []float64{1e3, 1e5, 1e7} {
+		for _, p := range []float64{4, 256, 4096} {
+			r := bounds.GEMVNoScalingRatio(n, p)
+			if r < 0.5 || r > 2 {
+				t.Errorf("n=%g p=%g: no-scaling ratio %g should be Θ(1)", n, p, r)
+			}
+		}
+	}
+}
+
+func TestGemvFlopBalance(t *testing.T) {
+	const n, q = 16, 4
+	a := matrix.Random(n, n, 65)
+	x := matrix.Random(n, 1, 66).Data
+	res, err := Gemv(zeroCost, q, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2n² multiply-add flops plus the reduction's additions.
+	want := 2.0 * n * n
+	got := res.Sim.TotalStats().Flops
+	if got < want || got > want+float64(q*q*n) {
+		t.Errorf("total flops %g, want about %g", got, want)
+	}
+	_ = sim.Cost{}
+}

@@ -1,0 +1,157 @@
+// Package matmul implements distributed dense matrix multiplication on the
+// virtual-time simulator: the classical 2D algorithms (Cannon, SUMMA), the
+// 3D algorithm of Agarwal et al., and the 2.5D algorithm of Solomonik and
+// Demmel that interpolates between them with a data-replication factor c.
+//
+// Every algorithm computes C = A·B for square matrices, executes the real
+// arithmetic on real data, and is verified against serial multiplication.
+// Initial block distribution and final gather are not charged to the
+// simulation — the paper's models likewise assume the operands start
+// distributed (one copy spread over the machine, Section III).
+package matmul
+
+import (
+	"fmt"
+
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+// RunResult bundles the assembled product and the simulation statistics.
+type RunResult struct {
+	// C is the assembled global product.
+	C *matrix.Dense
+	// Sim holds the per-rank counters and virtual clocks.
+	Sim *sim.Result
+}
+
+// checkSquare validates operand shapes and divisibility by the grid size.
+func checkSquare(a, b *matrix.Dense, q int) (int, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return 0, fmt.Errorf("matmul: need equal square operands, got %dx%d and %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	if q <= 0 || n%q != 0 {
+		return 0, fmt.Errorf("matmul: matrix size %d not divisible by grid size %d", n, q)
+	}
+	return n, nil
+}
+
+// Serial returns A·B computed locally — the verification baseline.
+func Serial(a, b *matrix.Dense) *matrix.Dense { return matrix.Mul(a, b) }
+
+// Cannon multiplies on a q×q process grid (p = q²) with Cannon's algorithm:
+// an initial alignment permutation, then q multiply-shift steps. The block
+// size is n/q, so each rank uses M = 3·(n/q)² words plus one shift buffer,
+// and communicates W = Θ(n²/√p) words in S = Θ(√p) messages — the 2D
+// baseline of the paper.
+func Cannon(cost sim.Cost, q int, a, b *matrix.Dense) (*RunResult, error) {
+	n, err := checkSquare(a, b, q)
+	if err != nil {
+		return nil, err
+	}
+	nb := n / q
+	grid := sim.Grid2D{Rows: q, Cols: q}
+	cBlocks := make([]*matrix.Dense, q*q)
+
+	res, err := sim.Run(q*q, cost, func(r *sim.Rank) error {
+		row, col := grid.Coords(r.ID())
+		rowComm, err := grid.RowComm(r)
+		if err != nil {
+			return err
+		}
+		colComm, err := grid.ColComm(r)
+		if err != nil {
+			return err
+		}
+		// Local blocks; charge 3 resident blocks to the memory tracker.
+		r.Alloc(3 * nb * nb)
+		aBlk := a.Block(row*nb, col*nb, nb, nb)
+		bBlk := b.Block(row*nb, col*nb, nb, nb)
+		cBlk := matrix.New(nb, nb)
+
+		// Alignment: row i shifts A left by i, column j shifts B up by j.
+		aBlk = matrix.FromData(nb, nb, rowComm.Shift(aBlk.Data, -row))
+		bBlk = matrix.FromData(nb, nb, colComm.Shift(bBlk.Data, -col))
+
+		for step := 0; step < q; step++ {
+			matrix.MulAdd(cBlk, aBlk, bBlk)
+			r.Compute(matrix.MulFlops(nb, nb, nb))
+			if step < q-1 {
+				aBlk = matrix.FromData(nb, nb, rowComm.Shift(aBlk.Data, -1))
+				bBlk = matrix.FromData(nb, nb, colComm.Shift(bBlk.Data, -1))
+			}
+		}
+		cBlocks[r.ID()] = cBlk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{C: assemble(cBlocks, grid, nb), Sim: res}, nil
+}
+
+// SUMMA multiplies on a q×q grid with the broadcast-based SUMMA algorithm:
+// q outer steps, each broadcasting a block column of A along rows and a
+// block row of B along columns. Same asymptotic costs as Cannon with
+// broadcast trees instead of shifts.
+func SUMMA(cost sim.Cost, q int, a, b *matrix.Dense) (*RunResult, error) {
+	n, err := checkSquare(a, b, q)
+	if err != nil {
+		return nil, err
+	}
+	nb := n / q
+	grid := sim.Grid2D{Rows: q, Cols: q}
+	cBlocks := make([]*matrix.Dense, q*q)
+
+	res, err := sim.Run(q*q, cost, func(r *sim.Rank) error {
+		row, col := grid.Coords(r.ID())
+		rowComm, err := grid.RowComm(r)
+		if err != nil {
+			return err
+		}
+		colComm, err := grid.ColComm(r)
+		if err != nil {
+			return err
+		}
+		r.Alloc(3 * nb * nb)
+		aBlk := a.Block(row*nb, col*nb, nb, nb)
+		bBlk := b.Block(row*nb, col*nb, nb, nb)
+		cBlk := matrix.New(nb, nb)
+
+		for t := 0; t < q; t++ {
+			// Column t of the grid owns the A panel; row t owns the B panel.
+			var aPanel, bPanel []float64
+			if col == t {
+				aPanel = aBlk.Data
+			}
+			if row == t {
+				bPanel = bBlk.Data
+			}
+			aPanel = rowComm.Bcast(t, aPanel)
+			bPanel = colComm.Bcast(t, bPanel)
+			matrix.MulAdd(cBlk, matrix.FromData(nb, nb, aPanel), matrix.FromData(nb, nb, bPanel))
+			r.Compute(matrix.MulFlops(nb, nb, nb))
+		}
+		cBlocks[r.ID()] = cBlk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{C: assemble(cBlocks, grid, nb), Sim: res}, nil
+}
+
+// assemble stitches per-rank C blocks back into a global matrix.
+func assemble(blocks []*matrix.Dense, grid sim.Grid2D, nb int) *matrix.Dense {
+	c := matrix.New(grid.Rows*nb, grid.Cols*nb)
+	for id, blk := range blocks {
+		if blk == nil {
+			continue
+		}
+		row, col := grid.Coords(id)
+		c.SetBlock(row*nb, col*nb, blk)
+	}
+	return c
+}

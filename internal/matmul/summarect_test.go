@@ -1,0 +1,113 @@
+package matmul
+
+import (
+	"testing"
+
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+func TestSUMMARectMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ m, k, n, pr, pc, panel int }{
+		{8, 8, 8, 2, 2, 4},    // square
+		{16, 8, 12, 4, 2, 2},  // rectangular everything
+		{6, 12, 10, 2, 2, 3},  // odd-ish panels
+		{12, 24, 8, 4, 4, 2},  // wide k
+		{20, 4, 20, 2, 2, 1},  // thin k, single-column panels
+		{8, 8, 8, 1, 1, 8},    // single rank
+		{24, 16, 24, 2, 4, 4}, // non-square grid
+	} {
+		a := matrix.Random(tc.m, tc.k, int64(tc.m+tc.k))
+		b := matrix.Random(tc.k, tc.n, int64(tc.k+tc.n))
+		want := matrix.Mul(a, b)
+		got, err := SUMMARect(sim.Cost{}, tc.pr, tc.pc, tc.panel, a, b)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if d := got.C.MaxAbsDiff(want); d > 1e-10*float64(tc.k) {
+			t.Errorf("%+v: max diff %g", tc, d)
+		}
+	}
+}
+
+func TestSUMMARectValidation(t *testing.T) {
+	a := matrix.Random(8, 8, 1)
+	b := matrix.Random(8, 8, 2)
+	if _, err := SUMMARect(sim.Cost{}, 2, 2, 3, a, b); err == nil {
+		t.Error("panel not dividing k should be rejected")
+	}
+	if _, err := SUMMARect(sim.Cost{}, 3, 2, 2, a, b); err == nil {
+		t.Error("grid not dividing m should be rejected")
+	}
+	if _, err := SUMMARect(sim.Cost{}, 2, 2, 2, a, matrix.New(6, 8)); err == nil {
+		t.Error("inner dimension mismatch should be rejected")
+	}
+	if _, err := SUMMARect(sim.Cost{}, 0, 2, 2, a, b); err == nil {
+		t.Error("zero grid should be rejected")
+	}
+	// Panel straddling owner blocks: k=8, pc=4 => owner blocks of 2;
+	// panel 4 would straddle them only if 2 % 4 != 0.
+	if _, err := SUMMARect(sim.Cost{}, 2, 4, 4, matrix.Random(8, 8, 3), matrix.Random(8, 8, 4)); err == nil {
+		t.Error("panel straddling owner blocks should be rejected")
+	}
+}
+
+func TestSUMMARectAgreesWithSquareSUMMA(t *testing.T) {
+	const n, q = 16, 4
+	a := matrix.Random(n, n, 5)
+	b := matrix.Random(n, n, 6)
+	sq, err := SUMMA(sim.Cost{}, q, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := SUMMARect(sim.Cost{}, q, q, n/q, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sq.C.MaxAbsDiff(rect.C); d > 1e-11*n {
+		t.Errorf("square vs rect SUMMA diff %g", d)
+	}
+}
+
+func TestSUMMARectPanelWidthTradeoff(t *testing.T) {
+	// Narrower panels mean more broadcasts (more messages) but the same
+	// total words — the classic SUMMA latency/pipeline knob.
+	const m, k, n = 16, 16, 16
+	a := matrix.Random(m, k, 7)
+	b := matrix.Random(k, n, 8)
+	narrow, err := SUMMARect(sim.Cost{}, 2, 2, 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := SUMMARect(sim.Cost{}, 2, 2, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := narrow.Sim.MaxStats().MsgsSent
+	wm := wide.Sim.MaxStats().MsgsSent
+	if nm <= wm {
+		t.Errorf("narrow panels should send more messages: %g vs %g", nm, wm)
+	}
+	// Flop totals identical.
+	if narrow.Sim.TotalStats().Flops != wide.Sim.TotalStats().Flops {
+		t.Error("panel width must not change arithmetic")
+	}
+}
+
+func TestSUMMARectFlopBalance(t *testing.T) {
+	const m, k, n = 16, 8, 12
+	a := matrix.Random(m, k, 9)
+	b := matrix.Random(k, n, 10)
+	res, err := SUMMARect(sim.Cost{}, 4, 2, 2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * m * k * n
+	if got := res.Sim.TotalStats().Flops; got != want {
+		t.Errorf("total flops %g, want %g", got, want)
+	}
+	maxF := res.Sim.MaxStats().Flops
+	if maxF != want/8 {
+		t.Errorf("per-rank flops %g, want %g", maxF, want/8)
+	}
+}

@@ -1,0 +1,40 @@
+package matrix
+
+import "testing"
+
+func benchmarkMul(b *testing.B, n int) {
+	x := Random(n, n, 1)
+	y := Random(n, n, 2)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}
+
+func BenchmarkMul64(b *testing.B)  { benchmarkMul(b, 64) }
+func BenchmarkMul128(b *testing.B) { benchmarkMul(b, 128) }
+func BenchmarkMul256(b *testing.B) { benchmarkMul(b, 256) }
+
+func BenchmarkLU128(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := RandomDiagDominant(128, int64(i))
+		b.StartTimer()
+		if err := LUInPlace(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	src := RandomSPD(128, 1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := src.Clone()
+		b.StartTimer()
+		if err := CholeskyInPlace(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

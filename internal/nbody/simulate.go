@@ -1,0 +1,134 @@
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/sim"
+)
+
+// State is a full particle system: positions+masses and velocities.
+type State struct {
+	Bodies     Bodies    // stride WordsPerBody: x, y, z, mass
+	Velocities []float64 // stride 3: vx, vy, vz
+}
+
+// NewState pairs bodies with zero velocities. It takes ownership of the
+// slice: integrator steps mutate it in place (Clone first to keep the
+// original).
+func NewState(b Bodies) *State {
+	return &State{Bodies: b, Velocities: make([]float64, 3*b.N())}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	b := make(Bodies, len(s.Bodies))
+	copy(b, s.Bodies)
+	v := make([]float64, len(s.Velocities))
+	copy(v, s.Velocities)
+	return &State{Bodies: b, Velocities: v}
+}
+
+// kick applies velocities += dt·forces (forces are per unit mass).
+func (s *State) kick(forces []float64, dt float64) {
+	for i := range s.Velocities {
+		s.Velocities[i] += dt * forces[i]
+	}
+}
+
+// drift applies positions += dt·velocities.
+func (s *State) drift(dt float64) {
+	n := s.Bodies.N()
+	for i := 0; i < n; i++ {
+		s.Bodies[i*WordsPerBody] += dt * s.Velocities[3*i]
+		s.Bodies[i*WordsPerBody+1] += dt * s.Velocities[3*i+1]
+		s.Bodies[i*WordsPerBody+2] += dt * s.Velocities[3*i+2]
+	}
+}
+
+// StepSerial advances the state one leapfrog (kick-drift-kick) step with
+// serial force evaluation — the reference integrator.
+func StepSerial(s *State, dt float64) {
+	f := SerialForces(s.Bodies)
+	s.kick(f, dt/2)
+	s.drift(dt)
+	f = SerialForces(s.Bodies)
+	s.kick(f, dt/2)
+}
+
+// SimulateResult is the outcome of a distributed n-body simulation.
+type SimulateResult struct {
+	// Final is the state after all steps.
+	Final *State
+	// Sims holds the per-step simulation statistics of the force
+	// evaluations (two per leapfrog step).
+	Sims []*sim.Result
+}
+
+// Simulate advances the system `steps` leapfrog steps of size dt, computing
+// forces with the data-replicating distributed algorithm on p ranks with
+// replication c. Each force evaluation is a fresh simulator run (the
+// paper's per-iteration costs apply per evaluation); the integrator itself
+// is the driver-side glue a real application would run.
+func Simulate(cost sim.Cost, p, c int, s *State, steps int, dt float64) (*SimulateResult, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("nbody: negative step count %d", steps)
+	}
+	out := &SimulateResult{Final: s.Clone()}
+	forces := func() ([]float64, error) {
+		res, err := Replicated(cost, p, c, out.Final.Bodies)
+		if err != nil {
+			return nil, err
+		}
+		out.Sims = append(out.Sims, res.Sim)
+		return res.Forces, nil
+	}
+	for step := 0; step < steps; step++ {
+		f, err := forces()
+		if err != nil {
+			return nil, fmt.Errorf("nbody: step %d: %w", step, err)
+		}
+		out.Final.kick(f, dt/2)
+		out.Final.drift(dt)
+		f, err = forces()
+		if err != nil {
+			return nil, fmt.Errorf("nbody: step %d: %w", step, err)
+		}
+		out.Final.kick(f, dt/2)
+	}
+	return out, nil
+}
+
+// TotalSimTime sums the simulated wall time of every force evaluation.
+func (r *SimulateResult) TotalSimTime() float64 {
+	t := 0.0
+	for _, s := range r.Sims {
+		t += s.Time()
+	}
+	return t
+}
+
+// Energy returns the system's kinetic plus (softened) potential energy —
+// the conserved quantity a symplectic integrator should approximately
+// preserve.
+func (s *State) Energy() float64 {
+	n := s.Bodies.N()
+	e := 0.0
+	for i := 0; i < n; i++ {
+		_, _, _, m := s.Bodies.Body(i)
+		v2 := s.Velocities[3*i]*s.Velocities[3*i] +
+			s.Velocities[3*i+1]*s.Velocities[3*i+1] +
+			s.Velocities[3*i+2]*s.Velocities[3*i+2]
+		e += 0.5 * m * v2
+	}
+	for i := 0; i < n; i++ {
+		xi, yi, zi, mi := s.Bodies.Body(i)
+		for j := i + 1; j < n; j++ {
+			xj, yj, zj, mj := s.Bodies.Body(j)
+			dx, dy, dz := xj-xi, yj-yi, zj-zi
+			r2 := dx*dx + dy*dy + dz*dz + Softening*Softening
+			e -= mi * mj / math.Sqrt(r2)
+		}
+	}
+	return e
+}

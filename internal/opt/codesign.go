@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/machine"
+)
+
+// Section VI closes with: "If we consider the problem of finding optimal
+// machine parameters within a given energy efficiency envelope and cost
+// metrics, we can solve the optimization problem via a steepest descents
+// approach to guide hardware development." CoDesign implements that loop:
+// find the cheapest improvement of the energy parameters that reaches a
+// target efficiency, where "cheap" is measured by per-parameter engineering
+// difficulty weights.
+
+// CoDesignProblem describes the §VI hardware-development question.
+type CoDesignProblem struct {
+	// Base is the current machine.
+	Base machine.Params
+	// TargetGFLOPSPerWatt is the efficiency envelope to reach.
+	TargetGFLOPSPerWatt float64
+	// Weights holds the relative engineering cost of halving each
+	// parameter once (its "difficulty"); missing entries default to 1.
+	Weights map[machine.EnergyField]float64
+	// Efficiency evaluates a candidate machine (e.g. casestudy.Efficiency
+	// or an opt.NBody closure). It must be non-decreasing as energy
+	// parameters shrink.
+	Efficiency func(machine.Params) float64
+}
+
+// CoDesignResult is the solver's answer.
+type CoDesignResult struct {
+	// Halvings[f] is the (fractional) number of halvings applied to field f.
+	Halvings map[machine.EnergyField]float64
+	// Machine is the improved parameter set.
+	Machine machine.Params
+	// Achieved is its efficiency; Cost the weighted halving total.
+	Achieved float64
+	Cost     float64
+}
+
+// codesignFields are the parameters the §VI study scales.
+var codesignFields = []machine.EnergyField{
+	machine.FieldGammaE, machine.FieldBetaE, machine.FieldAlphaE,
+	machine.FieldDeltaE, machine.FieldEpsilonE,
+}
+
+// Solve runs a steepest-descent (greedy marginal-utility) search: at each
+// step it spends a small halving increment on the parameter with the best
+// efficiency-gain-per-cost, until the target is met. The returned halvings
+// tell hardware designers where improvement effort pays.
+func (cp CoDesignProblem) Solve() (CoDesignResult, error) {
+	if cp.TargetGFLOPSPerWatt <= 0 {
+		return CoDesignResult{}, fmt.Errorf("opt: non-positive target")
+	}
+	if cp.Efficiency == nil {
+		return CoDesignResult{}, fmt.Errorf("opt: nil efficiency evaluator")
+	}
+	weight := func(f machine.EnergyField) float64 {
+		if w, ok := cp.Weights[f]; ok && w > 0 {
+			return w
+		}
+		return 1
+	}
+	res := CoDesignResult{Halvings: map[machine.EnergyField]float64{}, Machine: cp.Base}
+	cur := cp.Efficiency(cp.Base)
+	const step = 0.25     // quarter-halvings per move
+	const maxMoves = 4000 // backstop: 1000 full halvings across parameters
+	for move := 0; move < maxMoves; move++ {
+		if cur >= cp.TargetGFLOPSPerWatt {
+			res.Achieved = cur
+			return res, nil
+		}
+		// Pick the field with the best marginal gain per unit cost.
+		bestGain := 0.0
+		bestField := machine.EnergyField(-1)
+		var bestMachine machine.Params
+		var bestEff float64
+		for _, f := range codesignFields {
+			cand := res.Machine.ScaleEnergy(math.Pow(0.5, step), f)
+			eff := cp.Efficiency(cand)
+			gain := (eff - cur) / weight(f)
+			if gain > bestGain {
+				bestGain = gain
+				bestField = f
+				bestMachine = cand
+				bestEff = eff
+			}
+		}
+		if bestField < 0 {
+			return res, fmt.Errorf("opt: no parameter improves efficiency beyond %.4g GFLOPS/W (target %.4g unreachable by scaling energy parameters)",
+				cur, cp.TargetGFLOPSPerWatt)
+		}
+		res.Machine = bestMachine
+		res.Halvings[bestField] += step
+		res.Cost += step * weight(bestField)
+		cur = bestEff
+	}
+	return res, fmt.Errorf("opt: target %.4g not reached after %d moves (at %.4g)",
+		cp.TargetGFLOPSPerWatt, maxMoves, cur)
+}

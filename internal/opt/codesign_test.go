@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+)
+
+// matmulEff evaluates 2.5D matmul efficiency at a fixed configuration —
+// the same evaluator shape the Section VI study uses.
+func matmulEff(n, p, mem float64) func(machine.Params) float64 {
+	return func(m machine.Params) float64 {
+		return core.MatMulClassical(m, n, p, mem).GFLOPSPerWatt()
+	}
+}
+
+func TestCoDesignReachesTarget(t *testing.T) {
+	base := machine.Jaketown()
+	eff := matmulEff(35000, 2, 35000*35000/math.Pow(2, 2.0/3.0))
+	target := eff(base) * 25 // deep enough that gamma_e alone cannot get there
+	res, err := CoDesignProblem{
+		Base:                base,
+		TargetGFLOPSPerWatt: target,
+		Efficiency:          eff,
+	}.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved < target {
+		t.Errorf("achieved %g below target %g", res.Achieved, target)
+	}
+	// Sanity: the returned machine really evaluates to the claim.
+	if got := eff(res.Machine); !approx(got, res.Achieved, 1e-12) {
+		t.Errorf("result machine inconsistent: %g vs %g", got, res.Achieved)
+	}
+	// On Jaketown, γe and δe dominate the energy; βe does almost nothing —
+	// the solver should spend essentially nothing on βe.
+	if res.Halvings[machine.FieldBetaE] > res.Halvings[machine.FieldGammaE] {
+		t.Errorf("solver wasted effort on beta_e: %v", res.Halvings)
+	}
+	if res.Halvings[machine.FieldGammaE] == 0 || res.Halvings[machine.FieldDeltaE] == 0 {
+		t.Errorf("gamma_e and delta_e should both receive effort: %v", res.Halvings)
+	}
+}
+
+func TestCoDesignRespectsWeights(t *testing.T) {
+	base := machine.Jaketown()
+	eff := matmulEff(35000, 2, 35000*35000/math.Pow(2, 2.0/3.0))
+	target := eff(base) * 4
+	cheapGamma, err := CoDesignProblem{
+		Base: base, TargetGFLOPSPerWatt: target, Efficiency: eff,
+		Weights: map[machine.EnergyField]float64{machine.FieldDeltaE: 100},
+	}.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapDelta, err := CoDesignProblem{
+		Base: base, TargetGFLOPSPerWatt: target, Efficiency: eff,
+		Weights: map[machine.EnergyField]float64{machine.FieldGammaE: 100},
+	}.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Making delta expensive shifts effort to gamma, and vice versa.
+	if cheapGamma.Halvings[machine.FieldGammaE] <= cheapDelta.Halvings[machine.FieldGammaE] {
+		t.Errorf("weights ignored: gamma effort %g vs %g",
+			cheapGamma.Halvings[machine.FieldGammaE], cheapDelta.Halvings[machine.FieldGammaE])
+	}
+}
+
+func TestCoDesignUnreachableTarget(t *testing.T) {
+	// With all energy parameters already zero except γt-driven leakage...
+	// simpler: an efficiency function that caps out.
+	base := machine.Jaketown()
+	capped := func(m machine.Params) float64 { return 1.0 } // constant
+	_, err := CoDesignProblem{Base: base, TargetGFLOPSPerWatt: 2, Efficiency: capped}.Solve()
+	if err == nil {
+		t.Error("constant efficiency cannot reach a higher target")
+	}
+}
+
+func TestCoDesignValidation(t *testing.T) {
+	if _, err := (CoDesignProblem{Base: machine.Jaketown(), TargetGFLOPSPerWatt: -1,
+		Efficiency: func(machine.Params) float64 { return 1 }}).Solve(); err == nil {
+		t.Error("negative target should be rejected")
+	}
+	if _, err := (CoDesignProblem{Base: machine.Jaketown(), TargetGFLOPSPerWatt: 1}).Solve(); err == nil {
+		t.Error("nil evaluator should be rejected")
+	}
+}
+
+func TestCoDesignCostAccounting(t *testing.T) {
+	base := machine.Jaketown()
+	eff := matmulEff(35000, 2, 35000*35000/math.Pow(2, 2.0/3.0))
+	res, err := CoDesignProblem{
+		Base: base, TargetGFLOPSPerWatt: eff(base) * 2, Efficiency: eff,
+	}.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, h := range res.Halvings {
+		total += h
+	}
+	if !approx(res.Cost, total, 1e-12) { // unit weights: cost = total halvings
+		t.Errorf("cost %g vs total halvings %g", res.Cost, total)
+	}
+	if total <= 0 {
+		t.Error("reaching 2x the baseline must cost something")
+	}
+}

@@ -1,0 +1,128 @@
+package opt
+
+import "math"
+
+// solveCubicPositive returns the positive real root of
+// a·x³ + b·x² + c·x + d = 0 for coefficient patterns with exactly one
+// positive root (a > 0, d < 0 here), using the trigonometric/Cardano
+// closed forms. Returns NaN if no positive real root exists.
+func solveCubicPositive(a, b, c, d float64) float64 {
+	if a == 0 {
+		// Quadratic b·x² + c·x + d = 0.
+		if b == 0 {
+			if c == 0 {
+				return math.NaN()
+			}
+			x := -d / c
+			if x > 0 {
+				return x
+			}
+			return math.NaN()
+		}
+		disc := c*c - 4*b*d
+		if disc < 0 {
+			return math.NaN()
+		}
+		sq := math.Sqrt(disc)
+		best := math.NaN()
+		for _, x := range []float64{(-c + sq) / (2 * b), (-c - sq) / (2 * b)} {
+			if x > 0 && (math.IsNaN(best) || x < best) {
+				best = x
+			}
+		}
+		return best
+	}
+	// Depressed cubic t³ + p·t + q = 0 with x = t − b/(3a).
+	b, c, d = b/a, c/a, d/a
+	p := c - b*b/3
+	q := 2*b*b*b/27 - b*c/3 + d
+	shift := -b / 3
+	disc := q*q/4 + p*p*p/27
+	var roots []float64
+	switch {
+	case disc > 0:
+		// One real root.
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + sq)
+		v := math.Cbrt(-q/2 - sq)
+		roots = []float64{u + v + shift}
+	case disc == 0:
+		if q == 0 {
+			roots = []float64{shift}
+		} else {
+			u := math.Cbrt(-q / 2)
+			roots = []float64{2*u + shift, -u + shift}
+		}
+	default:
+		// Three real roots (casus irreducibilis): trigonometric form.
+		r := math.Sqrt(-p * p * p / 27)
+		phi := math.Acos(math.Min(1, math.Max(-1, -q/(2*r))))
+		m := 2 * math.Sqrt(-p/3)
+		for k := 0; k < 3; k++ {
+			roots = append(roots, m*math.Cos((phi+2*math.Pi*float64(k))/3)+shift)
+		}
+	}
+	best := math.NaN()
+	for _, x := range roots {
+		if x > 0 && (math.IsNaN(best) || x < best) {
+			best = x
+		}
+	}
+	eval := func(x float64) float64 { return x*x*x + b*x*x + c*x + d }
+	// Polish the closed-form root with a few Newton steps on the monic
+	// cubic (Cardano suffers cancellation for some coefficient patterns).
+	if !math.IsNaN(best) {
+		for i := 0; i < 4; i++ {
+			f := eval(best)
+			df := 3*best*best + 2*b*best + c
+			if df == 0 {
+				break
+			}
+			best -= f / df
+		}
+	}
+	// Cardano can lose the root entirely when the coefficients span many
+	// orders of magnitude (fuzz-found: a tiny root below huge quadratic
+	// terms). For the d < 0 < a case the cubic has f(0) < 0 and f(∞) > 0,
+	// so a bracketing bisection always recovers it.
+	if (math.IsNaN(best) || best <= 0 || math.Abs(eval(best)) > 1e-9*(math.Abs(d)+math.Abs(best*best*best))) && d < 0 {
+		hi := 1.0
+		for eval(hi) < 0 && hi < 1e150 {
+			hi *= 2
+		}
+		lo := 0.0
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if eval(mid) < 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		best = (lo + hi) / 2
+	}
+	return best
+}
+
+// OptimalMemoryAnalytic returns the closed-form energy-minimizing memory
+// for classical matmul — the technical-report analogue of the paper's M0.
+// Setting dE/dM = 0 on Eq. 10 with x = √M gives the cubic
+//
+//	δe·γt·x³ + (δe·(βt+αt/m)/2)·x² − B/2 = 0
+//
+// whose unique positive root squared is M*. Only defined for ω = 3 (the
+// paper notes the Strassen powers spoil the closed form; use
+// OptimalMemory for that). Falls back to NaN when the cubic degenerates
+// (e.g. δe = 0: energy is then monotone decreasing in M and the optimum is
+// the memory ceiling).
+func (pb MatMul) OptimalMemoryAnalytic() float64 {
+	if pb.omega() != 3 {
+		return math.NaN()
+	}
+	m := pb.M
+	a := m.DeltaE * m.GammaT
+	b := m.DeltaE * m.CommTimePerWord() / 2
+	d := -m.CommEnergyPerWord() / 2
+	x := solveCubicPositive(a, b, 0, d)
+	return x * x
+}

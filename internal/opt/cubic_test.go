@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfscale/internal/machine"
+)
+
+func TestSolveCubicKnownRoots(t *testing.T) {
+	cases := []struct {
+		a, b, c, d float64
+		want       float64
+	}{
+		{1, -6, 11, -6, 1},    // (x-1)(x-2)(x-3): smallest positive root 1
+		{1, 0, 0, -8, 2},      // x³ = 8
+		{0, 1, -3, 2, 1},      // quadratic (x-1)(x-2)
+		{0, 0, 2, -8, 4},      // linear
+		{1, 0, -1, 0, 1},      // x³ - x: roots -1, 0, 1 → positive root 1
+		{2, 1, 0, -1, 0.6573}, // 2x³+x²-1: one positive root
+	}
+	for _, c := range cases {
+		got := solveCubicPositive(c.a, c.b, c.c, c.d)
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("cubic(%g,%g,%g,%g): got %g want %g", c.a, c.b, c.c, c.d, got, c.want)
+		}
+	}
+}
+
+func TestSolveCubicNoPositiveRoot(t *testing.T) {
+	// (x+1)(x+2)(x+3): no positive roots.
+	if got := solveCubicPositive(1, 6, 11, 6); !math.IsNaN(got) {
+		t.Errorf("expected NaN, got %g", got)
+	}
+	if got := solveCubicPositive(0, 0, 0, 5); !math.IsNaN(got) {
+		t.Errorf("degenerate constant: expected NaN, got %g", got)
+	}
+	if got := solveCubicPositive(0, 1, 0, 4); !math.IsNaN(got) {
+		t.Errorf("x² = -4: expected NaN, got %g", got)
+	}
+}
+
+// Property: any root returned satisfies the cubic.
+func TestSolveCubicResidualProperty(t *testing.T) {
+	f := func(ai, bi, di uint8) bool {
+		a := 0.1 + float64(ai)/64
+		b := float64(bi) / 64
+		d := -(0.1 + float64(di)/64)
+		x := solveCubicPositive(a, b, 0, d)
+		if math.IsNaN(x) {
+			return false // a>0, d<0 guarantees a positive root
+		}
+		res := a*x*x*x + b*x*x + d
+		scale := a*x*x*x - d
+		return math.Abs(res) < 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticMatchesNumericOptimum(t *testing.T) {
+	for _, m := range []machine.Params{
+		machine.Jaketown(),
+		machine.Illustrative(),
+		machine.SimDefault(),
+	} {
+		pb := MatMul{M: m, N: 1 << 14}
+		analytic := pb.OptimalMemoryAnalytic()
+		numeric := pb.OptimalMemory()
+		if math.IsNaN(analytic) {
+			t.Fatalf("%s: analytic optimum undefined", m.Name)
+		}
+		// The numeric search clamps to [1, min(MemWords, n²)]; compare only
+		// when the analytic optimum lies inside that window.
+		hi := math.Min(m.MemWords, pb.N*pb.N)
+		if analytic >= 1 && analytic <= hi {
+			if !approx(analytic, numeric, 1e-3) {
+				t.Errorf("%s: analytic M* %g vs numeric %g", m.Name, analytic, numeric)
+			}
+		} else if numeric < hi*0.99 && numeric > 1.01 {
+			t.Errorf("%s: analytic out of window [1, %g] (%g) but numeric interior (%g)",
+				m.Name, hi, analytic, numeric)
+		}
+	}
+}
+
+func TestAnalyticUndefinedForStrassen(t *testing.T) {
+	pb := testMatMul()
+	pb.Omega = 2.807
+	if !math.IsNaN(pb.OptimalMemoryAnalytic()) {
+		t.Error("analytic optimum should be undefined for fast matmul")
+	}
+}

@@ -1,0 +1,21 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"perfscale/internal/machine"
+	"perfscale/internal/opt"
+)
+
+// ExampleNBody_OptimalMemory answers the paper's first optimization
+// question: the memory per processor that minimizes total energy, and the
+// processor range over which that minimum is attainable.
+func ExampleNBody_OptimalMemory() {
+	pb := opt.NBody{M: machine.Illustrative(), N: machine.IllustrativeN, F: 10}
+	lo, hi := pb.MinEnergyProcRange()
+	fmt.Printf("M0 = %.0f words\n", pb.OptimalMemory())
+	fmt.Printf("attainable for p in [%.0f, %.0f]\n", lo, hi)
+	// Output:
+	// M0 = 2001 words
+	// attainable for p in [5, 25]
+}

@@ -1,0 +1,34 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCubicRoot: for a > 0 and d < 0 the cubic has exactly one positive
+// root and the solver must return it with a tiny residual.
+func FuzzCubicRoot(f *testing.F) {
+	f.Add(1.0, 0.5, 0.25, -2.0)
+	f.Add(2.5, 0.0, 0.0, -1.0)
+	f.Add(0.001, 10.0, 0.0, -0.001)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		if !(a > 1e-9 && a < 1e9) || !(d < -1e-9 && d > -1e9) {
+			t.Skip()
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 || b > 1e9 {
+			t.Skip()
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 || c > 1e9 {
+			t.Skip()
+		}
+		x := solveCubicPositive(a, b, c, d)
+		if math.IsNaN(x) || x <= 0 {
+			t.Fatalf("no positive root returned for (%g,%g,%g,%g)", a, b, c, d)
+		}
+		res := a*x*x*x + b*x*x + c*x + d
+		scale := a*x*x*x + b*x*x + c*x - d
+		if math.Abs(res) > 1e-7*scale {
+			t.Fatalf("residual %g at x=%g for (%g,%g,%g,%g)", res, x, a, b, c, d)
+		}
+	})
+}

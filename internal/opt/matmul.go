@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"math"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+)
+
+// MatMul poses the Section V optimization questions for classical matrix
+// multiplication. The paper notes these have the same structure as the
+// n-body answers but are "more complicated" analytically (√M appears with
+// three different powers in Eq. 10), so this type solves them numerically
+// against the closed-form energy Eq. 10; the n-body closed forms serve as
+// the analytic cross-check of the method.
+type MatMul struct {
+	// M is the machine parameter set.
+	M machine.Params
+	// N is the matrix dimension.
+	N float64
+	// Omega is the algorithm exponent: 3 for classical, log2(7) for
+	// Strassen. Zero means classical.
+	Omega float64
+}
+
+func (pb MatMul) omega() float64 {
+	if pb.Omega == 0 {
+		return 3
+	}
+	return pb.Omega
+}
+
+// Energy returns the model energy at memory mem (Eq. 10 or 13), which is
+// independent of p inside the replication range.
+func (pb MatMul) Energy(mem float64) float64 {
+	if pb.omega() == 3 {
+		return core.MatMulEnergyClosedForm(pb.M, pb.N, mem)
+	}
+	return core.FastMatMulEnergyClosedForm(pb.M, pb.N, mem, pb.omega())
+}
+
+// Time returns the model runtime at (p, mem).
+func (pb MatMul) Time(p, mem float64) float64 {
+	w := pb.omega()
+	nw := math.Pow(pb.N, w)
+	return pb.M.GammaT*nw/p + pb.M.CommTimePerWord()*nw/(math.Pow(mem, w/2-1)*p)
+}
+
+// PMax returns the end of the perfect-scaling range for memory mem:
+// p = n^ω/M^(ω/2).
+func (pb MatMul) PMax(mem float64) float64 {
+	return math.Pow(pb.N, pb.omega()) / math.Pow(mem, pb.omega()/2)
+}
+
+// PMin returns n²/M, the fewest processors that hold the input.
+func (pb MatMul) PMin(mem float64) float64 { return pb.N * pb.N / mem }
+
+// OptimalMemory returns the energy-minimizing memory (the matmul analogue
+// of M0), found by golden-section search over the unimodal Eq. 10/13 curve.
+func (pb MatMul) OptimalMemory() float64 {
+	hi := math.Min(pb.M.MemWords, pb.N*pb.N)
+	x, _ := MinimizeUnimodal(pb.Energy, 1, hi)
+	return x
+}
+
+// MinEnergy returns the global minimum energy over memory.
+func (pb MatMul) MinEnergy() float64 { return pb.Energy(pb.OptimalMemory()) }
+
+// minTimeAtMem is the fastest runtime achievable with memory mem: run at
+// the end of the scaling range, p = PMax(mem). Substituting p gives
+// T = γt·M^(ω/2) + βt'·M (an increasing function of M: less memory admits
+// more processors).
+func (pb MatMul) minTimeAtMem(mem float64) float64 {
+	return pb.Time(pb.PMax(mem), mem)
+}
+
+// MinEnergyGivenTime answers question 2 of the introduction for matmul:
+// minimum energy with runtime ≤ tMax. Feasibility requires memory at or
+// below the value where minTimeAtMem = tMax; the energy-optimal choice is
+// the smaller of that cap and the unconstrained optimum.
+func (pb MatMul) MinEnergyGivenTime(tMax float64) (Config, float64, error) {
+	if tMax <= 0 {
+		return Config{}, 0, ErrInfeasible
+	}
+	hi := math.Min(pb.M.MemWords, pb.N*pb.N)
+	mCap, err := BisectIncreasing(pb.minTimeAtMem, 1, hi, tMax)
+	if err != nil {
+		// Even M=1 word cannot meet tMax in this model.
+		return Config{}, 0, ErrInfeasible
+	}
+	mem := math.Min(mCap, pb.OptimalMemory())
+	// Use the fewest processors that still meet the deadline (T ∝ 1/p).
+	p := math.Min(pb.PMax(mem), pb.Time(1, mem)/tMax)
+	p = math.Max(p, pb.PMin(mem))
+	return Config{P: p, Mem: mem}, pb.Energy(mem), nil
+}
+
+// MinTimeGivenEnergy answers question 3: minimum runtime with energy ≤
+// eMax. Runtime falls as memory shrinks (more processors fit in the
+// scaling range), so the answer uses the smallest memory whose energy is
+// within budget — the left edge of the feasible interval around the energy
+// optimum.
+func (pb MatMul) MinTimeGivenEnergy(eMax float64) (Config, float64, error) {
+	mStar := pb.OptimalMemory()
+	if pb.Energy(mStar) > eMax {
+		return Config{}, 0, ErrInfeasible
+	}
+	// E is decreasing on [1, mStar]: find the smallest feasible memory by
+	// bisecting the decreasing branch.
+	lo, hi := 1.0, mStar
+	if pb.Energy(lo) <= eMax {
+		hi = lo
+	}
+	for i := 0; i < 200 && hi > lo*(1+1e-15); i++ {
+		mid := math.Sqrt(lo * hi)
+		if pb.Energy(mid) <= eMax {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	mem := hi
+	p := pb.PMax(mem)
+	return Config{P: p, Mem: mem}, pb.Time(p, mem), nil
+}
+
+// ProcPower returns the per-processor average power at memory mem, the
+// matmul analogue of §V.D; independent of p.
+func (pb MatMul) ProcPower(mem float64) float64 {
+	m := pb.M
+	w := pb.omega()
+	commPerFlop := 1 / math.Pow(mem, w/2-1) // W/F
+	num := m.GammaE + (m.BetaE+m.AlphaE/m.MaxMsgWords)*commPerFlop
+	den := m.GammaT + m.CommTimePerWord()*commPerFlop
+	return num/den + m.DeltaE*mem + m.EpsilonE
+}
+
+// MaxProcsGivenTotalPower returns the processor bound implied by a total
+// power budget at memory mem: p ≤ Ptot / P1(M).
+func (pb MatMul) MaxProcsGivenTotalPower(pTot, mem float64) float64 {
+	return pTot / pb.ProcPower(mem)
+}
+
+// Efficiency returns the best-case efficiency n^ω/E_min in GFLOPS/W — the
+// §V.F metric for matmul. Unlike n-body it depends (weakly) on n because
+// the optimal memory does.
+func (pb MatMul) Efficiency() float64 {
+	return math.Pow(pb.N, pb.omega()) / pb.MinEnergy() / 1e9
+}

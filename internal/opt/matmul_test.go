@@ -1,0 +1,296 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/machine"
+)
+
+func testMatMul() MatMul {
+	return MatMul{M: machine.Illustrative(), N: 1 << 14}
+}
+
+func TestMatMulOmegaDefault(t *testing.T) {
+	pb := testMatMul()
+	if pb.omega() != 3 {
+		t.Errorf("default omega: got %g", pb.omega())
+	}
+	pb.Omega = bounds.OmegaStrassen
+	if pb.omega() != bounds.OmegaStrassen {
+		t.Error("explicit omega ignored")
+	}
+}
+
+func TestMatMulOptimalMemoryIsMinimum(t *testing.T) {
+	pb := testMatMul()
+	m0 := pb.OptimalMemory()
+	if pb.Energy(m0*1.01) < pb.Energy(m0) || pb.Energy(m0/1.01) < pb.Energy(m0) {
+		t.Errorf("M*=%g is not a minimum of Eq. 10", m0)
+	}
+	// Grid scan confirms golden section found the global minimum.
+	bestE := math.Inf(1)
+	for x := 1.0; x <= pb.N*pb.N; x *= 1.1 {
+		if e := pb.Energy(x); e < bestE {
+			bestE = e
+		}
+	}
+	if pb.MinEnergy() > bestE*(1+1e-6) {
+		t.Errorf("golden section missed minimum: %g vs grid %g", pb.MinEnergy(), bestE)
+	}
+}
+
+func TestMatMulStrassenOptimum(t *testing.T) {
+	pb := testMatMul()
+	pb.Omega = bounds.OmegaStrassen
+	m0 := pb.OptimalMemory()
+	if pb.Energy(m0*1.02) < pb.Energy(m0) || pb.Energy(m0/1.02) < pb.Energy(m0) {
+		t.Errorf("Strassen M*=%g is not a minimum", m0)
+	}
+	// Strassen does fewer flops, so its minimum energy is lower.
+	classical := testMatMul()
+	if pb.MinEnergy() >= classical.MinEnergy() {
+		t.Errorf("Strassen E* %g should beat classical %g", pb.MinEnergy(), classical.MinEnergy())
+	}
+}
+
+func TestMatMulTimeScalesWithP(t *testing.T) {
+	pb := testMatMul()
+	mem := pb.N * pb.N / 64
+	if !approx(pb.Time(128, mem), pb.Time(64, mem)/2, 1e-12) {
+		t.Error("matmul model time must scale 1/p")
+	}
+}
+
+func TestMatMulPBounds(t *testing.T) {
+	pb := testMatMul()
+	mem := 1 << 20
+	if !approx(pb.PMax(float64(mem)), bounds.MatMulPMax(pb.N, float64(mem)), 1e-12) {
+		t.Error("PMax mismatch with bounds package")
+	}
+	if !approx(pb.PMin(float64(mem)), bounds.MatMulPMin(pb.N, float64(mem)), 1e-12) {
+		t.Error("PMin mismatch with bounds package")
+	}
+}
+
+func TestMatMulMinEnergyGivenTime(t *testing.T) {
+	pb := testMatMul()
+	// Generous: global optimum.
+	cfgG, eG, err := pb.MinEnergyGivenTime(1e15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(eG, pb.MinEnergy(), 1e-9) {
+		t.Errorf("generous budget energy %g vs E* %g", eG, pb.MinEnergy())
+	}
+	if got := pb.Time(cfgG.P, cfgG.Mem); got > 1e15 {
+		t.Error("generous deadline missed")
+	}
+	// Tight: budget one tenth of the fastest time at the optimum memory.
+	tight := pb.minTimeAtMem(pb.OptimalMemory()) / 10
+	cfgT, eT, err := pb.MinEnergyGivenTime(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Time(cfgT.P, cfgT.Mem); got > tight*(1+1e-6) {
+		t.Errorf("tight deadline missed: %g > %g", got, tight)
+	}
+	if eT < eG {
+		t.Errorf("tight-budget energy %g below unconstrained %g", eT, eG)
+	}
+	if cfgT.Mem >= pb.OptimalMemory() {
+		t.Errorf("tight budget should force memory below optimum: %g", cfgT.Mem)
+	}
+	// Impossible.
+	if _, _, err := pb.MinEnergyGivenTime(0); !errors.Is(err, ErrInfeasible) {
+		t.Error("zero deadline should be infeasible")
+	}
+}
+
+func TestMatMulMinTimeGivenEnergy(t *testing.T) {
+	pb := testMatMul()
+	budget := pb.MinEnergy() * 1.2
+	cfg, tt, err := pb.MinTimeGivenEnergy(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Energy(cfg.Mem); got > budget*(1+1e-9) {
+		t.Errorf("budget exceeded: %g > %g", got, budget)
+	}
+	if !approx(tt, pb.Time(cfg.P, cfg.Mem), 1e-12) {
+		t.Error("returned time inconsistent")
+	}
+	// The run sits at the replication limit p = PMax(M).
+	if !approx(cfg.P, pb.PMax(cfg.Mem), 1e-9) {
+		t.Error("min-time run should use the full replication range")
+	}
+	// Smaller budget => slower (or infeasible).
+	_, t2, err := pb.MinTimeGivenEnergy(pb.MinEnergy() * 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < tt {
+		t.Errorf("smaller budget should not be faster: %g < %g", t2, tt)
+	}
+	if _, _, err := pb.MinTimeGivenEnergy(pb.MinEnergy() * 0.9); !errors.Is(err, ErrInfeasible) {
+		t.Error("budget below E* should be infeasible")
+	}
+}
+
+func TestMatMulProcPowerMatchesDefinition(t *testing.T) {
+	pb := testMatMul()
+	mem := 1 << 22
+	want := pb.ProcPower(float64(mem))
+	// Cross-check against E/(T·p) via the core model.
+	p := 64.0
+	e := pb.Energy(float64(mem))
+	tt := pb.Time(p, float64(mem))
+	if got := e / (tt * p); !approx(got, want, 1e-9) {
+		t.Errorf("ProcPower: formula %g vs E/(T·p) %g", want, got)
+	}
+}
+
+func TestMatMulTotalPowerBound(t *testing.T) {
+	pb := testMatMul()
+	mem := 1 << 22
+	p1 := pb.ProcPower(float64(mem))
+	if got := pb.MaxProcsGivenTotalPower(10*p1, float64(mem)); !approx(got, 10, 1e-12) {
+		t.Errorf("got %g want 10", got)
+	}
+}
+
+func TestMatMulEfficiencyPositive(t *testing.T) {
+	pb := testMatMul()
+	if eff := pb.Efficiency(); eff <= 0 || math.IsInf(eff, 0) || math.IsNaN(eff) {
+		t.Errorf("efficiency %g", eff)
+	}
+}
+
+func TestFig4Grid(t *testing.T) {
+	pb := testNBody()
+	g := NBodyRegionGrid(pb, 6, 100, 40, 30)
+	if len(g.Cells) != 40*30 {
+		t.Fatalf("cells: %d", len(g.Cells))
+	}
+	if g.CountFeasible() == 0 {
+		t.Fatal("no feasible cells sampled")
+	}
+	if !approx(g.M0, pb.OptimalMemory(), 1e-12) || !approx(g.EStar, pb.MinEnergy(), 1e-12) {
+		t.Error("grid metadata wrong")
+	}
+	// Feasibility matches the bounds predicate; energy is p-independent
+	// along each feasible row.
+	rowEnergy := map[float64]float64{}
+	m0Rows := map[float64]bool{}
+	for _, c := range g.Cells {
+		if want := bounds.InNBodyScalingRange(pb.N, c.P, c.Mem); c.Feasible != want {
+			t.Fatalf("feasibility mismatch at p=%g M=%g", c.P, c.Mem)
+		}
+		if !c.Feasible {
+			continue
+		}
+		if prev, ok := rowEnergy[c.Mem]; ok && !approx(prev, c.Energy, 1e-12) {
+			t.Fatalf("energy varies along p at M=%g", c.Mem)
+		}
+		rowEnergy[c.Mem] = c.Energy
+		if c.OnMinEnergyLine {
+			m0Rows[c.Mem] = true
+		}
+		if c.TotalPower <= 0 || c.ProcPower <= 0 {
+			t.Fatalf("degenerate powers at p=%g M=%g", c.P, c.Mem)
+		}
+	}
+	if len(m0Rows) != 1 {
+		t.Errorf("exactly one memory row should carry the min-energy line, got %d", len(m0Rows))
+	}
+	// The minimum over sampled rows is achieved on (or adjacent to) the M0 row.
+	var m0RowMem float64
+	for mem := range m0Rows {
+		m0RowMem = mem
+	}
+	for mem, e := range rowEnergy {
+		if e < rowEnergy[m0RowMem]*(1-1e-9) {
+			// Allow grid discretization: the better row must be adjacent to M0.
+			if math.Abs(math.Log(mem/g.M0)) > 0.2 {
+				t.Errorf("row M=%g has lower energy than the flagged M0 row", mem)
+			}
+		}
+	}
+}
+
+func TestBudgetsClassify(t *testing.T) {
+	b := Budgets{EnergyMax: 10, ProcPowerMax: 2, TimeMax: 5, TotalPowMax: 100}
+	feasible := Fig4Cell{Feasible: true, Energy: 9, Time: 6, ProcPower: 1, TotalPower: 150}
+	f := b.Classify(feasible)
+	if !f.WithinEnergy || !f.WithinProcPower || f.WithinTime || f.WithinTotalPow {
+		t.Errorf("flags: %+v", f)
+	}
+	infeasible := Fig4Cell{Feasible: false, Energy: 1, Time: 1}
+	if got := b.Classify(infeasible); got != (RegionFlags{}) {
+		t.Error("infeasible cells must classify to all-false")
+	}
+}
+
+func TestFig4TimeDecreasesRightAndUp(t *testing.T) {
+	// Figure 4(a): "runtime is decreased by moving to the right or up".
+	pb := testNBody()
+	g := NBodyRegionGrid(pb, 6, 100, 20, 20)
+	cellAt := func(pi, mi int) Fig4Cell { return g.Cells[mi*len(g.PValues)+pi] }
+	for mi := 0; mi < 20; mi++ {
+		for pi := 1; pi < 20; pi++ {
+			a, b := cellAt(pi-1, mi), cellAt(pi, mi)
+			if a.Feasible && b.Feasible && b.Time >= a.Time {
+				t.Fatalf("time should fall moving right: p %g->%g", a.P, b.P)
+			}
+		}
+	}
+	for pi := 0; pi < 20; pi++ {
+		for mi := 1; mi < 20; mi++ {
+			a, b := cellAt(pi, mi-1), cellAt(pi, mi)
+			if a.Feasible && b.Feasible && b.Time >= a.Time {
+				t.Fatalf("time should fall moving up in memory: M %g->%g", a.Mem, b.Mem)
+			}
+		}
+	}
+}
+
+func TestMatMulRegionGrid(t *testing.T) {
+	pb := testMatMul()
+	g := MatMulRegionGrid(pb, 64, 1<<16, 32, 24)
+	if g.CountFeasible() == 0 {
+		t.Fatal("no feasible cells")
+	}
+	if !approx(g.MStar, pb.OptimalMemory(), 1e-12) {
+		t.Error("grid metadata wrong")
+	}
+	nP := len(g.PValues)
+	for mi, mem := range g.MemValues {
+		for pi, p := range g.PValues {
+			c := g.Cells[mi*nP+pi]
+			wantFeasible := mem >= pb.N*pb.N/p && mem <= pb.N*pb.N/math.Pow(p, 2.0/3.0)
+			if c.Feasible != wantFeasible {
+				t.Fatalf("feasibility mismatch at p=%g M=%g", p, mem)
+			}
+			if c.Feasible && c.Time <= 0 {
+				t.Fatalf("degenerate cell at p=%g M=%g", p, mem)
+			}
+		}
+	}
+	// Energy constant along each feasible row (p-independence).
+	for mi := range g.MemValues {
+		var e float64
+		for pi := range g.PValues {
+			c := g.Cells[mi*nP+pi]
+			if !c.Feasible {
+				continue
+			}
+			if e == 0 {
+				e = c.Energy
+			} else if !approx(c.Energy, e, 1e-12) {
+				t.Fatal("energy varies along p inside the matmul region")
+			}
+		}
+	}
+}

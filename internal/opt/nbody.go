@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"math"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+)
+
+// NBody poses the Section V optimization problems for the data-replicating
+// direct n-body algorithm on a fixed machine and problem size.
+type NBody struct {
+	// M is the machine parameter set.
+	M machine.Params
+	// N is the number of bodies.
+	N float64
+	// F is the paper's f: flops per pairwise interaction.
+	F float64
+}
+
+// a returns the paper's A = f·(γe+γt·εe) + δe·(βt+αt/m), the M- and
+// p-independent energy per interaction pair (Section V.C).
+func (pb NBody) a() float64 {
+	return pb.F*pb.M.FlopEnergy() + pb.M.DeltaE*pb.M.CommTimePerWord()
+}
+
+// b returns B = (βe+βt·εe) + (αe+αt·εe)/m, the energy per communicated word.
+func (pb NBody) b() float64 { return pb.M.CommEnergyPerWord() }
+
+// Energy returns the model energy at memory mem (Eq. 16; independent of p
+// inside the replication range).
+func (pb NBody) Energy(mem float64) float64 {
+	return core.NBodyEnergyClosedForm(pb.M, pb.N, mem, pb.F)
+}
+
+// Time returns the model runtime at (p, mem) (Eq. 15).
+func (pb NBody) Time(p, mem float64) float64 {
+	return core.NBodyTimeClosedForm(pb.M, pb.N, p, mem, pb.F)
+}
+
+// OptimalMemory returns M0 = sqrt(B / (δe·γt·f)), the memory that minimizes
+// total energy (§V.A). Less memory wastes energy on communication; more
+// wastes it keeping DRAM powered.
+func (pb NBody) OptimalMemory() float64 {
+	return math.Sqrt(pb.b() / (pb.M.DeltaE * pb.M.GammaT * pb.F))
+}
+
+// MinEnergy returns E* of Eq. 18, the global minimum energy:
+//
+//	E* = n²·(f(γe+γt·εe) + δe(βt+αt/m) + 2·sqrt(δe·γt·f·B))
+func (pb NBody) MinEnergy() float64 {
+	return pb.N * pb.N * (pb.a() + 2*math.Sqrt(pb.M.DeltaE*pb.M.GammaT*pb.F*pb.b()))
+}
+
+// MinEnergyProcRange returns the range of processor counts [n/M0, n²/M0²]
+// over which the global minimum energy is attainable (the green line of
+// Figure 4).
+func (pb NBody) MinEnergyProcRange() (pLo, pHi float64) {
+	m0 := pb.OptimalMemory()
+	return pb.N / m0, pb.N * pb.N / (m0 * m0)
+}
+
+// MinTimeConfig returns the fastest configuration for a given maximum
+// processor count: p = pMax with the largest legal memory M = n/√p (§V.A:
+// "minimum runtime is when p is set as large as possible, and M is set to
+// its maximum value").
+func (pb NBody) MinTimeConfig(pMax float64) Config {
+	return Config{P: pMax, Mem: pb.N / math.Sqrt(pMax)}
+}
+
+// timeAtM0 is the runtime using M0 memory and the most processors that
+// still allow M0, p = n²/M0²: T = γt·f·M0² + (βt+αt/m)·M0 (§V.B).
+func (pb NBody) timeAtM0() float64 {
+	m0 := pb.OptimalMemory()
+	return pb.M.GammaT*pb.F*m0*m0 + pb.M.CommTimePerWord()*m0
+}
+
+// MinEnergyGivenTime answers §V.B: the minimum-energy configuration whose
+// runtime does not exceed tMax. If the time budget admits M0, the global
+// optimum is returned; otherwise the run uses
+//
+//	pmin = ((βt'·n + sqrt(βt'²·n² + 4·tMax·γt·f·n²)) / (2·tMax))²
+//
+// processors at the 2D limit M = n/√pmin. Returns ErrInfeasible only for
+// non-positive tMax (any positive time is reachable with enough processors).
+func (pb NBody) MinEnergyGivenTime(tMax float64) (Config, float64, error) {
+	if tMax <= 0 {
+		return Config{}, 0, ErrInfeasible
+	}
+	if tMax >= pb.timeAtM0() {
+		m0 := pb.OptimalMemory()
+		return Config{P: pb.N * pb.N / (m0 * m0), Mem: m0}, pb.MinEnergy(), nil
+	}
+	bt := pb.M.CommTimePerWord()
+	s := (bt*pb.N + math.Sqrt(bt*bt*pb.N*pb.N+4*tMax*pb.M.GammaT*pb.F*pb.N*pb.N)) / (2 * tMax)
+	pmin := s * s
+	mem := pb.N / math.Sqrt(pmin)
+	return Config{P: pmin, Mem: mem}, pb.Energy(mem), nil
+}
+
+// MaxProcsGivenEnergy answers the §V.C processor bound: the largest p such
+// that a 2D run (M = n/√p) fits within energy budget eMax:
+//
+//	p ≤ (((Emax − A·n²) + sqrt((Emax − A·n²)² − 4·B·δe·γt·f·n⁴)) / (2·n·B))²
+//
+// Returns ErrInfeasible when eMax is below the global minimum energy (the
+// expression turns imaginary, as the paper notes).
+func (pb NBody) MaxProcsGivenEnergy(eMax float64) (float64, error) {
+	a, b := pb.a(), pb.b()
+	excess := eMax - a*pb.N*pb.N
+	disc := excess*excess - 4*b*pb.M.DeltaE*pb.M.GammaT*pb.F*math.Pow(pb.N, 4)
+	if excess <= 0 || disc < 0 {
+		return 0, ErrInfeasible
+	}
+	x := (excess + math.Sqrt(disc)) / (2 * pb.N * b)
+	return x * x, nil
+}
+
+// MinTimeGivenEnergy answers §V.C: the fastest configuration within energy
+// budget eMax — always a 2D run at the largest p the budget allows.
+func (pb NBody) MinTimeGivenEnergy(eMax float64) (Config, float64, error) {
+	p, err := pb.MaxProcsGivenEnergy(eMax)
+	if err != nil {
+		return Config{}, 0, err
+	}
+	cfg := Config{P: p, Mem: pb.N / math.Sqrt(p)}
+	return cfg, pb.Time(cfg.P, cfg.Mem), nil
+}
+
+// ProcPower returns the average power drawn by one processor at memory mem
+// (§V.D); it is independent of p:
+//
+//	P1 = (γe·f + βe/M + αe/(m·M)) / (γt·f + βt/M + αt/(m·M)) + δe·M + εe
+func (pb NBody) ProcPower(mem float64) float64 {
+	m := pb.M
+	num := m.GammaE*pb.F + m.BetaE/mem + m.AlphaE/(m.MaxMsgWords*mem)
+	den := m.GammaT*pb.F + m.BetaT/mem + m.AlphaT/(m.MaxMsgWords*mem)
+	return num/den + m.DeltaE*mem + m.EpsilonE
+}
+
+// MaxProcsGivenTotalPower answers §V.D: the processor bound implied by a
+// total average power budget at memory mem (Eq. 19): p ≤ Ptot / P1(M).
+func (pb NBody) MaxProcsGivenTotalPower(pTot, mem float64) float64 {
+	return pTot / pb.ProcPower(mem)
+}
+
+// MemRangeGivenProcPower answers §V.E: the memory interval [mLo, mHi]
+// within which the per-processor power stays at or below pMax (Eq. 20):
+//
+//	δe·γt·f·M² − C·M + D ≤ 0, with
+//	C = γt·f·Pmax − γe·f − εe·γt·f − δe·(βt+αt/m)
+//	D = βe + αe/m − (βt+αt/m)·(Pmax − εe)
+//
+// Returns ErrInfeasible when no memory satisfies the cap. Two corrections
+// to the printed Eq. 20, both verified by expanding the power inequality
+// and substituting the roots back: the discriminant's coefficient is
+// 4·δe·γt·f·D (printed as 4·γe·γt·f·D), and the εe·(βt+αt/m) term of D
+// enters with a plus sign (printed minus).
+func (pb NBody) MemRangeGivenProcPower(pMax float64) (mLo, mHi float64, err error) {
+	m := pb.M
+	bt := m.CommTimePerWord()
+	c := m.GammaT*pb.F*pMax - m.GammaE*pb.F - m.EpsilonE*m.GammaT*pb.F - m.DeltaE*bt
+	d := m.BetaE + m.AlphaE/m.MaxMsgWords - bt*(pMax-m.EpsilonE)
+	a := m.DeltaE * m.GammaT * pb.F
+	disc := c*c - 4*a*d
+	if disc < 0 {
+		return 0, 0, ErrInfeasible
+	}
+	sq := math.Sqrt(disc)
+	mLo = (c - sq) / (2 * a)
+	mHi = (c + sq) / (2 * a)
+	if mHi <= 0 {
+		return 0, 0, ErrInfeasible
+	}
+	mLo = math.Max(mLo, 0)
+	return mLo, mHi, nil
+}
+
+// MinEnergyGivenProcPower answers the second half of §V.E: the minimum
+// energy achievable under a per-processor power cap. If M0 is allowed, the
+// global optimum stands; otherwise the best memory is the boundary of the
+// allowed interval nearest M0 (E is unimodal around M0).
+func (pb NBody) MinEnergyGivenProcPower(pMax float64) (float64, float64, error) {
+	mLo, mHi, err := pb.MemRangeGivenProcPower(pMax)
+	if err != nil {
+		return 0, 0, err
+	}
+	m0 := pb.OptimalMemory()
+	mem := math.Min(math.Max(m0, mLo), mHi)
+	return mem, pb.Energy(mem), nil
+}
+
+// Efficiency returns the best-case efficiency f·n²/E* in GFLOPS/W (§V.F).
+// It is independent of n, p and M: E* scales as n² and the flop count does
+// too.
+func (pb NBody) Efficiency() float64 {
+	return pb.F * pb.N * pb.N / pb.MinEnergy() / 1e9
+}
+
+// EnergyScaleForTarget answers §V.F's co-design question for the simplest
+// lever: the factor x by which all energy parameters (γe, βe, αe, δe, εe)
+// must be multiplied so that Efficiency reaches target GFLOPS/W. E* is
+// homogeneous of degree 1 in the energy parameters, so x is exact:
+// x = current/target.
+func (pb NBody) EnergyScaleForTarget(target float64) float64 {
+	return pb.Efficiency() / target
+}
+
+// NumericOptimalMemory cross-checks OptimalMemory by golden-section search
+// over Eq. 16; the two agree to solver tolerance.
+func (pb NBody) NumericOptimalMemory() float64 {
+	x, _ := MinimizeUnimodal(pb.Energy, 1, pb.N*pb.N)
+	return x
+}

@@ -1,0 +1,71 @@
+// Package opt implements Section V of the paper: optimization of energy,
+// runtime and power for the data-replicating n-body algorithm (closed
+// forms, §V.A–F) and for classical/Strassen matrix multiplication (numeric,
+// since the paper notes the analytic solutions are "harder to obtain").
+package opt
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when a budget cannot be met by any
+// configuration of the model.
+var ErrInfeasible = errors.New("opt: budget infeasible")
+
+// Config is an execution configuration: processor count and memory used per
+// processor.
+type Config struct {
+	P   float64
+	Mem float64
+}
+
+// MinimizeUnimodal performs golden-section search for the minimizer of f on
+// [lo, hi] in log space (the energy curves of the paper are unimodal in M
+// across many orders of magnitude). It returns the argmin and minimum.
+func MinimizeUnimodal(f func(float64) float64, lo, hi float64) (x, fx float64) {
+	if lo <= 0 || hi <= lo {
+		panic("opt: MinimizeUnimodal needs 0 < lo < hi")
+	}
+	const phi = 1.618033988749895
+	const tol = 1e-12
+	a, b := math.Log(lo), math.Log(hi)
+	g := func(t float64) float64 { return f(math.Exp(t)) }
+	c := b - (b-a)/phi
+	d := a + (b-a)/phi
+	fc, fd := g(c), g(d)
+	for i := 0; i < 400 && math.Abs(b-a) > tol*(1+math.Abs(a)+math.Abs(b)); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)/phi
+			fc = g(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)/phi
+			fd = g(d)
+		}
+	}
+	t := (a + b) / 2
+	return math.Exp(t), g(t)
+}
+
+// BisectIncreasing finds x in [lo, hi] with f(x) = target for a
+// non-decreasing f; it returns the largest x with f(x) ≤ target. Returns
+// ErrInfeasible when f(lo) > target.
+func BisectIncreasing(f func(float64) float64, lo, hi, target float64) (float64, error) {
+	if f(lo) > target {
+		return 0, ErrInfeasible
+	}
+	if f(hi) <= target {
+		return hi, nil
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

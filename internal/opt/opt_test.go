@@ -1,0 +1,338 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/machine"
+)
+
+func approx(got, want, rel float64) bool {
+	if want == 0 {
+		return math.Abs(got) < rel
+	}
+	return math.Abs(got-want)/math.Abs(want) < rel
+}
+
+func testNBody() NBody {
+	return NBody{M: machine.Illustrative(), N: machine.IllustrativeN, F: 10}
+}
+
+func TestMinimizeUnimodal(t *testing.T) {
+	// min of (x-5)² + 3 over [0.1, 100].
+	f := func(x float64) float64 { return (x-5)*(x-5) + 3 }
+	x, fx := MinimizeUnimodal(f, 0.1, 100)
+	if !approx(x, 5, 1e-6) || !approx(fx, 3, 1e-9) {
+		t.Errorf("got x=%g fx=%g", x, fx)
+	}
+	// Monotone decreasing: minimum at the right edge.
+	x, _ = MinimizeUnimodal(func(x float64) float64 { return -x }, 1, 10)
+	if !approx(x, 10, 1e-6) {
+		t.Errorf("decreasing f: got %g want 10", x)
+	}
+}
+
+func TestMinimizeUnimodalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad interval should panic")
+		}
+	}()
+	MinimizeUnimodal(func(x float64) float64 { return x }, 5, 1)
+}
+
+func TestBisectIncreasing(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, err := BisectIncreasing(f, 0.001, 100, 49)
+	if err != nil || !approx(x, 7, 1e-6) {
+		t.Errorf("got %g err %v", x, err)
+	}
+	if _, err := BisectIncreasing(f, 10, 100, 1); !errors.Is(err, ErrInfeasible) {
+		t.Error("target below f(lo) should be infeasible")
+	}
+	x, err = BisectIncreasing(f, 1, 10, 1e9)
+	if err != nil || x != 10 {
+		t.Errorf("saturated target: got %g err %v", x, err)
+	}
+}
+
+func TestNBodyOptimalMemoryClosedForm(t *testing.T) {
+	pb := testNBody()
+	m0 := pb.OptimalMemory()
+	want := math.Sqrt(pb.M.CommEnergyPerWord() / (pb.M.DeltaE * pb.M.GammaT * pb.F))
+	if !approx(m0, want, 1e-12) {
+		t.Errorf("M0: got %g want %g", m0, want)
+	}
+	// M0 minimizes the energy curve: both neighbors cost more.
+	if pb.Energy(m0*1.1) <= pb.Energy(m0) || pb.Energy(m0/1.1) <= pb.Energy(m0) {
+		t.Error("M0 is not a local minimum of Eq. 16")
+	}
+}
+
+func TestNBodyNumericMatchesClosedForm(t *testing.T) {
+	pb := testNBody()
+	if got, want := pb.NumericOptimalMemory(), pb.OptimalMemory(); !approx(got, want, 1e-4) {
+		t.Errorf("numeric M0 %g vs closed form %g", got, want)
+	}
+}
+
+func TestNBodyMinEnergyMatchesEnergyAtM0(t *testing.T) {
+	pb := testNBody()
+	if got, want := pb.MinEnergy(), pb.Energy(pb.OptimalMemory()); !approx(got, want, 1e-12) {
+		t.Errorf("E* %g vs E(M0) %g", got, want)
+	}
+}
+
+func TestNBodyM0InsideIllustrativeRange(t *testing.T) {
+	// The Illustrative preset promises M0 = 2000 words, so the Figure 4
+	// minimum-energy line spans p ∈ [n/M0, n²/M0²] = [5, 25] — overlapping
+	// the plotted axis [6, 100] the way the paper draws it.
+	pb := testNBody()
+	m0 := pb.OptimalMemory()
+	if !approx(m0, 2000, 0.01) {
+		t.Errorf("M0: got %g want ~2000", m0)
+	}
+	for _, p := range []float64{6, 10, 20} {
+		if !bounds.InNBodyScalingRange(pb.N, p, m0) {
+			t.Errorf("M0=%g outside range at p=%g: [%g, %g]", m0, p, pb.N/p, pb.N/math.Sqrt(p))
+		}
+	}
+	lo, hi := pb.MinEnergyProcRange()
+	if lo >= 6 || hi <= 6 || hi >= 100 {
+		t.Errorf("min-energy line [%g, %g] should overlap [6, 100] partially", lo, hi)
+	}
+}
+
+func TestNBodyMinEnergyProcRange(t *testing.T) {
+	pb := testNBody()
+	lo, hi := pb.MinEnergyProcRange()
+	m0 := pb.OptimalMemory()
+	if !approx(lo, pb.N/m0, 1e-12) || !approx(hi, pb.N*pb.N/(m0*m0), 1e-12) {
+		t.Errorf("range [%g, %g]", lo, hi)
+	}
+	if lo >= hi {
+		t.Error("range must be nonempty")
+	}
+}
+
+func TestNBodyMinTimeConfig(t *testing.T) {
+	pb := testNBody()
+	cfg := pb.MinTimeConfig(64)
+	if cfg.P != 64 || !approx(cfg.Mem, pb.N/8, 1e-12) {
+		t.Errorf("cfg %+v", cfg)
+	}
+}
+
+func TestMinEnergyGivenTimeGenerousBudget(t *testing.T) {
+	pb := testNBody()
+	// With a huge budget the global optimum must be returned.
+	cfg, e, err := pb.MinEnergyGivenTime(1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(e, pb.MinEnergy(), 1e-12) {
+		t.Errorf("energy %g vs E* %g", e, pb.MinEnergy())
+	}
+	if !approx(cfg.Mem, pb.OptimalMemory(), 1e-12) {
+		t.Errorf("memory %g vs M0 %g", cfg.Mem, pb.OptimalMemory())
+	}
+}
+
+func TestMinEnergyGivenTimeTightBudget(t *testing.T) {
+	pb := testNBody()
+	tight := pb.timeAtM0() / 10
+	cfg, e, err := pb.MinEnergyGivenTime(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget must actually be met (within rounding).
+	if got := pb.Time(cfg.P, cfg.Mem); got > tight*(1+1e-9) {
+		t.Errorf("returned config misses deadline: T=%g > %g", got, tight)
+	}
+	// It costs more than the global optimum.
+	if e < pb.MinEnergy() {
+		t.Errorf("constrained energy %g below global optimum %g", e, pb.MinEnergy())
+	}
+	// And it runs at the 2D limit M = n/√p.
+	if !approx(cfg.Mem, pb.N/math.Sqrt(cfg.P), 1e-9) {
+		t.Errorf("tight-budget run should be 2D: M=%g n/√p=%g", cfg.Mem, pb.N/math.Sqrt(cfg.P))
+	}
+}
+
+func TestMinEnergyGivenTimeInfeasible(t *testing.T) {
+	pb := testNBody()
+	if _, _, err := pb.MinEnergyGivenTime(0); !errors.Is(err, ErrInfeasible) {
+		t.Error("zero budget should be infeasible")
+	}
+}
+
+func TestMinEnergyGivenTimePminFormula(t *testing.T) {
+	// The returned p must satisfy the paper's quadratic: T(pmin, n/√pmin)
+	// equals Tmax exactly.
+	pb := testNBody()
+	tight := pb.timeAtM0() / 7
+	cfg, _, err := pb.MinEnergyGivenTime(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Time(cfg.P, cfg.Mem); !approx(got, tight, 1e-9) {
+		t.Errorf("pmin should make the deadline tight: T=%g Tmax=%g", got, tight)
+	}
+}
+
+func TestMaxProcsGivenEnergy(t *testing.T) {
+	pb := testNBody()
+	// Budget 2x the 2D-limit energy at p=100.
+	mem := pb.N / 10
+	budget := pb.Energy(mem)
+	p, err := pb.MaxProcsGivenEnergy(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the returned p, the 2D run exactly exhausts the budget.
+	got := pb.Energy(pb.N / math.Sqrt(p))
+	if !approx(got, budget, 1e-9) {
+		t.Errorf("E at max p: %g vs budget %g", got, budget)
+	}
+	// Below E*, infeasible.
+	if _, err := pb.MaxProcsGivenEnergy(pb.MinEnergy() * 0.5); !errors.Is(err, ErrInfeasible) {
+		t.Error("budget below E* should be infeasible")
+	}
+}
+
+func TestMinTimeGivenEnergyIs2D(t *testing.T) {
+	pb := testNBody()
+	budget := pb.MinEnergy() * 1.5
+	cfg, tt, err := pb.MinTimeGivenEnergy(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cfg.Mem, pb.N/math.Sqrt(cfg.P), 1e-9) {
+		t.Error("min-time run must sit on the 2D limit")
+	}
+	if !approx(tt, pb.Time(cfg.P, cfg.Mem), 1e-12) {
+		t.Error("returned time inconsistent")
+	}
+	// A bigger budget must not be slower.
+	_, t2, err := pb.MinTimeGivenEnergy(budget * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 > tt {
+		t.Errorf("more energy budget should not slow the run: %g -> %g", tt, t2)
+	}
+}
+
+func TestProcPowerIndependentOfP(t *testing.T) {
+	// ProcPower takes no p: check it equals E/(T·p) computed at several p.
+	pb := testNBody()
+	mem := pb.OptimalMemory()
+	want := pb.ProcPower(mem)
+	for _, p := range []float64{10, 40, 90} {
+		e := pb.Energy(mem)
+		tt := pb.Time(p, mem)
+		if got := e / (tt * p); !approx(got, want, 1e-9) {
+			t.Errorf("p=%g: E/(T·p)=%g vs ProcPower=%g", p, got, want)
+		}
+	}
+}
+
+func TestMaxProcsGivenTotalPower(t *testing.T) {
+	pb := testNBody()
+	mem := pb.OptimalMemory()
+	p1 := pb.ProcPower(mem)
+	if got := pb.MaxProcsGivenTotalPower(50*p1, mem); !approx(got, 50, 1e-12) {
+		t.Errorf("total power for 50 procs: got %g", got)
+	}
+}
+
+func TestMemRangeGivenProcPower(t *testing.T) {
+	pb := testNBody()
+	mem := pb.OptimalMemory()
+	cap := pb.ProcPower(mem) * 1.2
+	lo, hi, err := pb.MemRangeGivenProcPower(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < mem && mem < hi) {
+		t.Errorf("M0=%g should be inside allowed range [%g, %g]", mem, lo, hi)
+	}
+	// The boundary memory should draw exactly the cap.
+	if got := pb.ProcPower(hi); !approx(got, cap, 1e-6) {
+		t.Errorf("power at hi boundary: %g vs cap %g", got, cap)
+	}
+	// An impossible cap is reported.
+	if _, _, err := pb.MemRangeGivenProcPower(pb.M.EpsilonE / 2); !errors.Is(err, ErrInfeasible) {
+		t.Error("cap below leakage should be infeasible")
+	}
+}
+
+func TestMinEnergyGivenProcPower(t *testing.T) {
+	pb := testNBody()
+	m0 := pb.OptimalMemory()
+	// Generous cap: global optimum.
+	mem, e, err := pb.MinEnergyGivenProcPower(pb.ProcPower(m0) * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(mem, m0, 1e-9) || !approx(e, pb.MinEnergy(), 1e-9) {
+		t.Errorf("generous cap: mem=%g e=%g", mem, e)
+	}
+	// Tight cap (below the power at M0 but feasible at smaller memory):
+	// the best memory is the boundary below M0.
+	tight := pb.ProcPower(m0/4) * 1.0001
+	if tight >= pb.ProcPower(m0) {
+		t.Skip("illustrative machine: power not increasing at M0/4")
+	}
+	mem, e, err = pb.MinEnergyGivenProcPower(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem >= m0 {
+		t.Errorf("tight cap should force memory below M0: got %g", mem)
+	}
+	if e <= pb.MinEnergy() {
+		t.Errorf("constrained energy %g should exceed E* %g", e, pb.MinEnergy())
+	}
+}
+
+func TestEfficiencyIndependentOfN(t *testing.T) {
+	pb := testNBody()
+	pb2 := pb
+	pb2.N = pb.N * 7
+	if !approx(pb.Efficiency(), pb2.Efficiency(), 1e-12) {
+		t.Errorf("n-body efficiency should be n-independent: %g vs %g", pb.Efficiency(), pb2.Efficiency())
+	}
+}
+
+func TestEnergyScaleForTarget(t *testing.T) {
+	pb := testNBody()
+	target := pb.Efficiency() * 4
+	x := pb.EnergyScaleForTarget(target)
+	if !approx(x, 0.25, 1e-12) {
+		t.Errorf("scale: got %g want 0.25", x)
+	}
+	// Verify: scaling every energy parameter by x reaches the target.
+	scaled := pb
+	scaled.M = pb.M.ScaleEnergy(x,
+		machine.FieldGammaE, machine.FieldBetaE, machine.FieldAlphaE,
+		machine.FieldDeltaE, machine.FieldEpsilonE)
+	if got := scaled.Efficiency(); !approx(got, target, 1e-9) {
+		t.Errorf("scaled efficiency %g vs target %g", got, target)
+	}
+}
+
+func TestRaceToHaltNotAlwaysOptimal(t *testing.T) {
+	// §V.A's punchline: minimizing energy and minimizing time select
+	// different configurations — "race to halt" is not the guiding
+	// principle. The fastest config (2D limit) must use strictly more
+	// energy than E* whenever M0 is interior.
+	pb := testNBody()
+	fast := pb.MinTimeConfig(100)
+	eFast := pb.Energy(fast.Mem)
+	if eFast <= pb.MinEnergy()*(1+1e-9) {
+		t.Errorf("fastest config energy %g should exceed E* %g", eFast, pb.MinEnergy())
+	}
+}

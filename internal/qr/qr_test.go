@@ -1,0 +1,173 @@
+package qr
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+var zeroCost = sim.Cost{}
+
+func TestHouseholderReconstructs(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 1}, {4, 4}, {8, 3}, {16, 5}, {32, 8}, {7, 7},
+	} {
+		a := matrix.Random(tc.m, tc.n, int64(tc.m*10+tc.n))
+		q, r, err := Householder(a)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.m, tc.n, err)
+		}
+		recon := matrix.Mul(q, r)
+		if d := recon.MaxAbsDiff(a); d > 1e-10*float64(tc.m) {
+			t.Errorf("%dx%d: ‖QR − A‖ = %g", tc.m, tc.n, d)
+		}
+		// Q has orthonormal columns: QᵀQ = I.
+		qtq := matrix.Mul(q.Transpose(), q)
+		if d := qtq.MaxAbsDiff(matrix.Identity(tc.n)); d > 1e-10*float64(tc.m) {
+			t.Errorf("%dx%d: ‖QᵀQ − I‖ = %g", tc.m, tc.n, d)
+		}
+		// R upper triangular with non-negative diagonal.
+		for i := 0; i < tc.n; i++ {
+			if r.At(i, i) < 0 {
+				t.Errorf("%dx%d: negative diagonal at %d", tc.m, tc.n, i)
+			}
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Errorf("%dx%d: R not upper at (%d,%d)", tc.m, tc.n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestHouseholderRejectsWide(t *testing.T) {
+	if _, _, err := Householder(matrix.New(3, 5)); err == nil {
+		t.Error("wide matrix should be rejected")
+	}
+}
+
+func TestHouseholderFlops(t *testing.T) {
+	// 2mn² − (2/3)n³ at m=n=3: 54 − 18 = 36.
+	if got := HouseholderFlops(3, 3); math.Abs(got-36) > 1e-12 {
+		t.Errorf("HouseholderFlops(3,3) = %g, want 36", got)
+	}
+}
+
+func TestTSQRMatchesSerialR(t *testing.T) {
+	for _, tc := range []struct{ m, n, p int }{
+		{16, 4, 1},
+		{16, 4, 2},
+		{32, 4, 4},
+		{64, 8, 4},
+		{48, 3, 8}, // non-power-of-two friendly block count
+	} {
+		a := matrix.Random(tc.m, tc.n, int64(tc.m+tc.n+tc.p))
+		res, err := TSQR(zeroCost, tc.p, a)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		_, want, err := Householder(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.R.MaxAbsDiff(want); d > 1e-9*float64(tc.m) {
+			t.Errorf("%+v: TSQR R differs from serial by %g", tc, d)
+		}
+	}
+}
+
+func TestTSQRRSatisfiesNormalEquations(t *testing.T) {
+	// RᵀR = AᵀA: the R factor is determined by A's Gram matrix.
+	const m, n, p = 64, 6, 8
+	a := matrix.Random(m, n, 77)
+	res, err := TSQR(zeroCost, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtr := matrix.Mul(res.R.Transpose(), res.R)
+	ata := matrix.Mul(a.Transpose(), a)
+	if d := rtr.MaxAbsDiff(ata); d > 1e-9*float64(m) {
+		t.Errorf("‖RᵀR − AᵀA‖ = %g", d)
+	}
+}
+
+func TestTSQRImplicitQOrthonormal(t *testing.T) {
+	// Q = A·R⁻¹ has orthonormal columns when A has full rank.
+	const m, n, p = 48, 4, 4
+	a := matrix.Random(m, n, 91)
+	res, err := TSQR(zeroCost, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve R·X = Aᵀ... easier: Q = A·R⁻¹ via back substitution per row.
+	q := a.Clone()
+	// Right-solve X·R = A: columns of X from left to right.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := q.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= q.At(i, k) * res.R.At(k, j)
+			}
+			q.Set(i, j, s/res.R.At(j, j))
+		}
+	}
+	qtq := matrix.Mul(q.Transpose(), q)
+	if d := qtq.MaxAbsDiff(matrix.Identity(n)); d > 1e-8 {
+		t.Errorf("implicit Q not orthonormal: %g", d)
+	}
+}
+
+func TestTSQRValidation(t *testing.T) {
+	a := matrix.Random(16, 4, 1)
+	if _, err := TSQR(zeroCost, 3, a); err == nil {
+		t.Error("16 rows on 3 ranks should be rejected")
+	}
+	if _, err := TSQR(zeroCost, 8, a); err == nil {
+		t.Error("2-row local blocks for 4 columns should be rejected")
+	}
+	if _, err := TSQR(zeroCost, 0, a); err == nil {
+		t.Error("p=0 should be rejected")
+	}
+}
+
+func TestTSQRCommunicationProfile(t *testing.T) {
+	// The communication-avoiding signature: log2(p) rounds, one n² triangle
+	// each, independent of m.
+	const n, p = 4, 8
+	for _, m := range []int{64, 512} {
+		a := matrix.Random(m, n, int64(m))
+		res, err := TSQR(zeroCost, p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxMsgs := res.Sim.MaxStats().MsgsSent
+		if maxMsgs > 1 {
+			t.Errorf("m=%d: each rank sends at most one R (got %g)", m, maxMsgs)
+		}
+		// Rank 0 receives log2(p) = 3 R factors of n² words.
+		recv := res.Sim.PerRank[0].WordsRecv
+		if recv != 3*n*n {
+			t.Errorf("m=%d: root received %g words, want %d (independent of m)", m, recv, 3*n*n)
+		}
+	}
+}
+
+func TestTSQRLatencyIsLogP(t *testing.T) {
+	const m, n = 256, 4
+	lat := sim.Cost{AlphaT: 1}
+	a := matrix.Random(m, n, 13)
+	t4, err := TSQR(lat, 4, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := TSQR(lat, 16, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Sim.Time() != 2 || t16.Sim.Time() != 4 {
+		t.Errorf("latency critical path: p=4 -> %g (want 2), p=16 -> %g (want 4)",
+			t4.Sim.Time(), t16.Sim.Time())
+	}
+}

@@ -1,0 +1,396 @@
+// Package sim provides a deterministic virtual-time distributed-memory
+// runtime: the machine substrate on which the paper's algorithms execute.
+//
+// Each of p ranks runs as a goroutine executing the same SPMD function.
+// Ranks exchange []float64 messages over per-pair FIFO channels. Every rank
+// carries a virtual clock in seconds:
+//
+//   - computing f flops advances the clock by γt·f,
+//   - sending k words advances the sender's clock by αt·⌈k/m⌉ + βt·k
+//     (one latency per maximal message of m words),
+//   - receiving waits: the receiver's clock becomes the maximum of its own
+//     clock and the sender's clock at the moment the message left.
+//
+// With these semantics a fully overlapped exchange (every rank sends then
+// receives, as in Cannon shifts) costs one αt + k·βt per step, matching the
+// paper's timing model (Eq. 1); synchronization is carried by messages, as
+// the paper assumes. Clock values depend only on the program's communication
+// pattern, never on the Go scheduler, so simulated times are exactly
+// reproducible.
+//
+// Per-rank counters record flops, words/messages sent and received, and the
+// peak of an explicitly tracked memory allocation count; the core package
+// prices these counters with the paper's energy model.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Cost holds the timing parameters the runtime uses to advance virtual
+// clocks. Energy parameters are applied after the run by internal/core.
+type Cost struct {
+	// GammaT is seconds per flop.
+	GammaT float64
+	// BetaT is seconds per word.
+	BetaT float64
+	// AlphaT is seconds per message.
+	AlphaT float64
+	// MaxMsgWords is m, the largest message the network carries in one
+	// latency; longer sends are charged ⌈k/m⌉ latencies. Zero means
+	// unlimited.
+	MaxMsgWords int
+	// Links optionally replaces AlphaT/BetaT with per-pair values (torus
+	// hop counts, intra- vs inter-node links). Nil means uniform links.
+	Links LinkModel
+	// ChargeReceiver switches to the conservative accounting where the
+	// receiver also pays αt + k·βt instead of only waiting for the sender —
+	// the DESIGN.md clock-semantics ablation. It doubles the communication
+	// constant of symmetric exchanges but leaves every scaling shape
+	// unchanged.
+	ChargeReceiver bool
+	// Trace records per-rank timeline segments (compute/send/wait/recv)
+	// for critical-path and power-profile analysis; Result.Trace carries
+	// them after the run.
+	Trace bool
+}
+
+// linkParams returns the effective per-message latency and per-word time
+// for a pair.
+func (c Cost) linkParams(src, dst int) (alpha, beta float64) {
+	if c.Links != nil {
+		return c.Links.Latency(src, dst), c.Links.TimePerWord(src, dst)
+	}
+	return c.AlphaT, c.BetaT
+}
+
+// Stats are the quantities one rank accumulated during a run.
+type Stats struct {
+	// Flops is F, the floating-point operations executed.
+	Flops float64
+	// WordsSent and MsgsSent are W and S of the paper's per-processor model.
+	WordsSent float64
+	MsgsSent  float64
+	// WordsRecv and MsgsRecv count the receiving side (the bounds of
+	// Section III count words "sent and received").
+	WordsRecv float64
+	MsgsRecv  float64
+	// PeakMemWords is the high-water mark of tracked allocations, the M of
+	// the energy model.
+	PeakMemWords float64
+	// Time is the rank's final virtual clock in seconds.
+	Time float64
+
+	// ComputeTime, SendTime, RecvTime and WaitTime decompose the clock:
+	// γt·F, the α/β cost of sends, the α/β cost of receives (only under
+	// ChargeReceiver), and the idle time spent waiting for senders.
+	// ComputeTime + SendTime + RecvTime + WaitTime == Time.
+	ComputeTime float64
+	SendTime    float64
+	RecvTime    float64
+	WaitTime    float64
+}
+
+type message struct {
+	data    []float64
+	arrival float64 // sender's virtual clock when the message left
+}
+
+// Cluster is a set of p ranks wired with per-pair FIFO channels.
+type Cluster struct {
+	p      int
+	cost   Cost
+	chans  [][]chan message // chans[src][dst]
+	tracer *tracer
+}
+
+// DefaultChanCap is the per-pair channel buffer. Senders block (in real
+// time, not virtual time) when a pair's buffer fills; virtual clocks are
+// unaffected. The value is a compromise: large enough that no algorithm in
+// this repository queues that many unreceived messages on one pair, small
+// enough that a p-rank cluster's p² channels stay cheap to allocate.
+const DefaultChanCap = 64
+
+// NewCluster creates a cluster of p ranks with the given timing costs.
+func NewCluster(p int, cost Cost) (*Cluster, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sim: cluster size must be positive, got %d", p)
+	}
+	if cost.GammaT < 0 || cost.BetaT < 0 || cost.AlphaT < 0 || cost.MaxMsgWords < 0 {
+		return nil, fmt.Errorf("sim: negative cost parameters: %+v", cost)
+	}
+	c := &Cluster{p: p, cost: cost}
+	if cost.Trace {
+		c.tracer = &tracer{segments: make([][]Segment, p)}
+	}
+	c.chans = make([][]chan message, p)
+	for src := 0; src < p; src++ {
+		c.chans[src] = make([]chan message, p)
+		for dst := 0; dst < p; dst++ {
+			c.chans[src][dst] = make(chan message, DefaultChanCap)
+		}
+	}
+	return c, nil
+}
+
+// P returns the number of ranks.
+func (c *Cluster) P() int { return c.p }
+
+// Rank is the per-goroutine handle an SPMD function uses to communicate,
+// account compute, and track memory. A Rank must only be used from the
+// goroutine it was handed to.
+type Rank struct {
+	cluster *Cluster
+	id      int
+	clock   float64
+	stats   Stats
+	curMem  float64
+}
+
+// ID returns the rank's index in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P returns the cluster size.
+func (r *Rank) P() int { return r.cluster.p }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Stats returns a snapshot of the rank's counters with Time filled in.
+func (r *Rank) Stats() Stats {
+	s := r.stats
+	s.Time = r.clock
+	return s
+}
+
+// Compute accounts flops floating-point operations: the clock advances by
+// γt·flops. The caller performs the actual arithmetic itself.
+func (r *Rank) Compute(flops float64) {
+	if flops < 0 {
+		panic("sim: negative flop count")
+	}
+	r.stats.Flops += flops
+	dt := r.cluster.cost.GammaT * flops
+	r.stats.ComputeTime += dt
+	r.record(Segment{Kind: SegCompute, Start: r.clock, End: r.clock + dt, Peer: -1})
+	r.clock += dt
+}
+
+// messagesFor returns the number of network messages needed for k words.
+func (c *Cluster) messagesFor(k int) float64 {
+	if k == 0 {
+		return 1 // a zero-word message still costs one latency
+	}
+	if c.cost.MaxMsgWords <= 0 {
+		return 1
+	}
+	return math.Ceil(float64(k) / float64(c.cost.MaxMsgWords))
+}
+
+// Send transmits a copy of data to rank dst. The sender's clock advances by
+// one latency per maximal message plus βt per word. Send never blocks in
+// virtual time; it may block in real time if the pair's channel buffer is
+// full. Sending to oneself is allowed and costs the same as any other send.
+func (r *Rank) Send(dst int, data []float64) {
+	if dst < 0 || dst >= r.cluster.p {
+		panic(fmt.Sprintf("sim: rank %d sending to invalid rank %d", r.id, dst))
+	}
+	k := len(data)
+	msgs := r.cluster.messagesFor(k)
+	r.stats.WordsSent += float64(k)
+	r.stats.MsgsSent += msgs
+	alpha, beta := r.cluster.cost.linkParams(r.id, dst)
+	dt := alpha*msgs + beta*float64(k)
+	r.stats.SendTime += dt
+	r.record(Segment{Kind: SegSend, Start: r.clock, End: r.clock + dt, Peer: dst, Words: k, Msgs: msgs})
+	r.clock += dt
+	cp := make([]float64, k)
+	copy(cp, data)
+	r.cluster.chans[r.id][dst] <- message{data: cp, arrival: r.clock}
+}
+
+// Recv receives the next message from rank src, blocking until it arrives.
+// The receiver's clock becomes max(own clock, sender's post-send clock).
+func (r *Rank) Recv(src int) []float64 {
+	if src < 0 || src >= r.cluster.p {
+		panic(fmt.Sprintf("sim: rank %d receiving from invalid rank %d", r.id, src))
+	}
+	msg, ok := <-r.cluster.chans[src][r.id]
+	if !ok {
+		panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which exited without sending", r.id, src))
+	}
+	if msg.arrival > r.clock {
+		r.stats.WaitTime += msg.arrival - r.clock
+		r.record(Segment{Kind: SegWait, Start: r.clock, End: msg.arrival, Peer: src, Words: len(msg.data)})
+		r.clock = msg.arrival
+	}
+	if r.cluster.cost.ChargeReceiver {
+		alpha, beta := r.cluster.cost.linkParams(src, r.id)
+		dt := alpha*r.cluster.messagesFor(len(msg.data)) + beta*float64(len(msg.data))
+		r.stats.RecvTime += dt
+		r.record(Segment{Kind: SegRecv, Start: r.clock, End: r.clock + dt, Peer: src, Words: len(msg.data)})
+		r.clock += dt
+	}
+	r.stats.WordsRecv += float64(len(msg.data))
+	r.stats.MsgsRecv++
+	return msg.data
+}
+
+// SendRecv sends sendData to dst and receives from src, overlapping the two
+// as the model allows: the send is posted first, so a symmetric exchange
+// among all ranks costs a single αt + k·βt step.
+func (r *Rank) SendRecv(dst int, sendData []float64, src int) []float64 {
+	r.Send(dst, sendData)
+	return r.Recv(src)
+}
+
+// Alloc records the allocation of words words of tracked memory and updates
+// the peak. Algorithms call Alloc/Free around their main buffers so that the
+// energy model's M reflects the algorithm's true footprint.
+func (r *Rank) Alloc(words int) {
+	if words < 0 {
+		panic("sim: negative allocation")
+	}
+	r.curMem += float64(words)
+	if r.curMem > r.stats.PeakMemWords {
+		r.stats.PeakMemWords = r.curMem
+	}
+}
+
+// Free records the release of words words of tracked memory.
+func (r *Rank) Free(words int) {
+	if words < 0 {
+		panic("sim: negative free")
+	}
+	r.curMem -= float64(words)
+	if r.curMem < 0 {
+		panic(fmt.Sprintf("sim: rank %d freed more memory than allocated", r.id))
+	}
+}
+
+// TrackedVec allocates a tracked []float64 of length n. The caller should
+// Free(n) when the buffer's lifetime ends if it wants non-monotone
+// footprints; otherwise the peak simply includes it.
+func (r *Rank) TrackedVec(n int) []float64 {
+	r.Alloc(n)
+	return make([]float64, n)
+}
+
+// Result holds the outcome of a cluster run.
+type Result struct {
+	// PerRank has one Stats per rank, indexed by rank id.
+	PerRank []Stats
+	// Trace carries the per-rank timelines when Cost.Trace was set.
+	Trace *Trace
+}
+
+// Time returns the simulated runtime: the maximum final clock over ranks.
+func (res *Result) Time() float64 {
+	t := 0.0
+	for _, s := range res.PerRank {
+		if s.Time > t {
+			t = s.Time
+		}
+	}
+	return t
+}
+
+// MaxStats returns the per-processor maxima of every counter — the
+// quantities the paper's per-processor model prices (its F, W, S, M are
+// "the counts on the busiest processor", since the machine is homogeneous
+// and the algorithms balanced).
+func (res *Result) MaxStats() Stats {
+	var m Stats
+	for _, s := range res.PerRank {
+		m.Flops = math.Max(m.Flops, s.Flops)
+		m.WordsSent = math.Max(m.WordsSent, s.WordsSent)
+		m.MsgsSent = math.Max(m.MsgsSent, s.MsgsSent)
+		m.WordsRecv = math.Max(m.WordsRecv, s.WordsRecv)
+		m.MsgsRecv = math.Max(m.MsgsRecv, s.MsgsRecv)
+		m.PeakMemWords = math.Max(m.PeakMemWords, s.PeakMemWords)
+		m.Time = math.Max(m.Time, s.Time)
+		m.ComputeTime = math.Max(m.ComputeTime, s.ComputeTime)
+		m.SendTime = math.Max(m.SendTime, s.SendTime)
+		m.RecvTime = math.Max(m.RecvTime, s.RecvTime)
+		m.WaitTime = math.Max(m.WaitTime, s.WaitTime)
+	}
+	return m
+}
+
+// TotalStats returns counters summed over ranks (Time is the max).
+func (res *Result) TotalStats() Stats {
+	var t Stats
+	for _, s := range res.PerRank {
+		t.Flops += s.Flops
+		t.WordsSent += s.WordsSent
+		t.MsgsSent += s.MsgsSent
+		t.WordsRecv += s.WordsRecv
+		t.MsgsRecv += s.MsgsRecv
+		t.PeakMemWords += s.PeakMemWords
+		t.Time = math.Max(t.Time, s.Time)
+		t.ComputeTime += s.ComputeTime
+		t.SendTime += s.SendTime
+		t.RecvTime += s.RecvTime
+		t.WaitTime += s.WaitTime
+	}
+	return t
+}
+
+// Run executes fn on every rank of a fresh cluster and returns per-rank
+// statistics. It returns the first error any rank reported; a panic inside
+// fn is recovered and returned as an error naming the rank.
+func Run(p int, cost Cost, fn func(r *Rank) error) (*Result, error) {
+	c, err := NewCluster(p, cost)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(fn)
+}
+
+// Run executes fn on every rank. A Cluster must not be reused after Run:
+// leftover messages from a failed run would corrupt a second one.
+func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
+	res := &Result{PerRank: make([]Stats, c.p)}
+	if c.tracer != nil {
+		res.Trace = &Trace{Segments: c.tracer.segments}
+	}
+	errs := make([]error, c.p)
+	var wg sync.WaitGroup
+	for id := 0; id < c.p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{cluster: c, id: id}
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+				}
+				res.PerRank[id] = r.Stats()
+				// Closing this rank's outgoing channels turns a peer's
+				// unmatched Recv into a clean error instead of a deadlock;
+				// already-buffered messages are still delivered first.
+				for dst := 0; dst < c.p; dst++ {
+					close(c.chans[id][dst])
+				}
+			}()
+			errs[id] = fn(r)
+		}(id)
+	}
+	wg.Wait()
+	// Join every rank's error: a single failure usually cascades into
+	// "peer exited" panics on other ranks, and the root cause must not be
+	// masked by whichever rank id happens to come first.
+	var all []error
+	for id, err := range errs {
+		if err != nil {
+			all = append(all, fmt.Errorf("rank %d: %w", id, err))
+		}
+	}
+	if len(all) > 0 {
+		return res, errors.Join(all...)
+	}
+	return res, nil
+}

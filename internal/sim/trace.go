@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SegmentKind classifies a traced interval of a rank's virtual timeline.
+type SegmentKind int
+
+// Segment kinds.
+const (
+	// SegCompute is time spent in Compute (γt·flops).
+	SegCompute SegmentKind = iota
+	// SegSend is the αt+k·βt the sender pays.
+	SegSend
+	// SegWait is idle time blocked in Recv for a message to arrive.
+	SegWait
+	// SegRecv is receive-side transfer cost (only under ChargeReceiver).
+	SegRecv
+)
+
+// String names the kind.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegCompute:
+		return "compute"
+	case SegSend:
+		return "send"
+	case SegWait:
+		return "wait"
+	case SegRecv:
+		return "recv"
+	}
+	return fmt.Sprintf("SegmentKind(%d)", int(k))
+}
+
+// Segment is one traced interval on a rank's timeline.
+type Segment struct {
+	Kind       SegmentKind
+	Start, End float64
+	// Peer is the other rank for send/wait/recv segments, -1 for compute.
+	Peer int
+	// Words is the message size for communication segments.
+	Words int
+	// Msgs is the network-message count of a send segment (⌈Words/m⌉),
+	// matching the S counter.
+	Msgs float64
+}
+
+// Duration returns End − Start.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Trace is the per-rank event record of a traced run.
+type Trace struct {
+	// Segments[rank] lists that rank's intervals in time order.
+	Segments [][]Segment
+}
+
+// tracer is attached to a cluster when Cost.Trace is set.
+type tracer struct {
+	segments [][]Segment
+}
+
+func (r *Rank) record(seg Segment) {
+	if r.cluster.tracer == nil || seg.End <= seg.Start {
+		return
+	}
+	r.cluster.tracer.segments[r.id] = append(r.cluster.tracer.segments[r.id], seg)
+}
+
+// CriticalPath walks the message-dependency graph backwards from the
+// last-finishing rank: within a rank, time flows through its segments; a
+// wait segment hands off to the sender whose message released it. The
+// returned segments are in forward time order and tile [0, T] exactly
+// (gaps can only be leading idle time at t = 0, reported as a wait with
+// peer -1).
+//
+// The path's composition answers "what would speed this run up": compute
+// segments respond to γt, send segments to αt/βt, and an empty wait share
+// means the run is a single dependency chain with no slack.
+func (t *Trace) CriticalPath() []Segment {
+	// Find the rank finishing last.
+	last, lastEnd := -1, -1.0
+	for rank, segs := range t.Segments {
+		if len(segs) > 0 && segs[len(segs)-1].End > lastEnd {
+			last, lastEnd = rank, segs[len(segs)-1].End
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	var path []Segment
+	rank := last
+	now := lastEnd
+	for now > 0 {
+		segs := t.Segments[rank]
+		// Find the segment on this rank ending at `now` (binary search on
+		// End; segments are in time order).
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].End >= now-1e-15 })
+		if i >= len(segs) || segs[i].End < now-1e-9 {
+			// No activity ends here: leading idle time on this rank.
+			path = append(path, Segment{Kind: SegWait, Start: 0, End: now, Peer: -1})
+			break
+		}
+		seg := segs[i]
+		if seg.Kind == SegWait {
+			// The wait ended when the sender's message arrived: jump to the
+			// sender at the same instant (the send segment ends there).
+			rank = seg.Peer
+			continue
+		}
+		path = append(path, seg)
+		now = seg.Start
+	}
+	// Reverse into forward time order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// PathBreakdown sums a segment list's duration by kind.
+func PathBreakdown(path []Segment) map[SegmentKind]float64 {
+	out := map[SegmentKind]float64{}
+	for _, s := range path {
+		out[s.Kind] += s.Duration()
+	}
+	return out
+}
+
+// Utilization returns each rank's busy fraction: (T − wait − leading idle)
+// divided by the run's total time.
+func (t *Trace) Utilization(totalTime float64) []float64 {
+	out := make([]float64, len(t.Segments))
+	if totalTime <= 0 {
+		return out
+	}
+	for rank, segs := range t.Segments {
+		busy := 0.0
+		for _, s := range segs {
+			if s.Kind != SegWait {
+				busy += s.Duration()
+			}
+		}
+		out[rank] = math.Min(1, busy/totalTime)
+	}
+	return out
+}
+
+// RenderGantt draws the traced timelines as an ASCII Gantt chart: one row
+// per rank, width columns across [0, totalTime]. Cell glyphs: '#' compute,
+// '>' send, '~' receive cost, '.' waiting, ' ' idle/finished. When several
+// segments share a cell, the busiest kind wins.
+func (t *Trace) RenderGantt(totalTime float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if totalTime <= 0 {
+		return "(empty trace)\n"
+	}
+	glyph := map[SegmentKind]byte{SegCompute: '#', SegSend: '>', SegRecv: '~', SegWait: '.'}
+	// Priority when mixed within one cell: compute > send > recv > wait.
+	prio := map[SegmentKind]int{SegCompute: 3, SegSend: 2, SegRecv: 1, SegWait: 0}
+	var b []byte
+	header := fmt.Sprintf("time 0 .. %.3g s, %d ranks (# compute, > send, ~ recv, . wait)\n", totalTime, len(t.Segments))
+	b = append(b, header...)
+	for rank, segs := range t.Segments {
+		row := make([]byte, width)
+		weight := make([]float64, width)
+		kinds := make([]int, width)
+		for i := range row {
+			row[i] = ' '
+			kinds[i] = -1
+		}
+		for _, s := range segs {
+			c0 := int(s.Start / totalTime * float64(width))
+			c1 := int(s.End / totalTime * float64(width))
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				lo := math.Max(s.Start, float64(c)/float64(width)*totalTime)
+				hi := math.Min(s.End, float64(c+1)/float64(width)*totalTime)
+				overlap := hi - lo
+				if overlap <= 0 {
+					continue
+				}
+				// Prefer the segment covering more of the cell; break ties
+				// by kind priority.
+				if overlap > weight[c] || (overlap == weight[c] && prio[s.Kind] > kinds[c]) {
+					weight[c] = overlap
+					kinds[c] = prio[s.Kind]
+					row[c] = glyph[s.Kind]
+				}
+			}
+		}
+		b = append(b, fmt.Sprintf("r%02d |", rank)...)
+		b = append(b, row...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}

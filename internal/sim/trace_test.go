@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsSegments(t *testing.T) {
+	cost := Cost{GammaT: 1, AlphaT: 10, BetaT: 1, Trace: true}
+	res, err := Run(2, cost, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(5)
+			r.Send(1, []float64{1, 2}) // 10 + 2 = 12
+		} else {
+			r.Recv(0) // waits until 17
+			r.Compute(3)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace missing")
+	}
+	segs0 := res.Trace.Segments[0]
+	if len(segs0) != 2 || segs0[0].Kind != SegCompute || segs0[1].Kind != SegSend {
+		t.Fatalf("rank 0 segments: %+v", segs0)
+	}
+	if segs0[1].Start != 5 || segs0[1].End != 17 || segs0[1].Peer != 1 || segs0[1].Words != 2 {
+		t.Errorf("send segment: %+v", segs0[1])
+	}
+	segs1 := res.Trace.Segments[1]
+	if len(segs1) != 2 || segs1[0].Kind != SegWait || segs1[1].Kind != SegCompute {
+		t.Fatalf("rank 1 segments: %+v", segs1)
+	}
+	if segs1[0].Start != 0 || segs1[0].End != 17 || segs1[0].Peer != 0 {
+		t.Errorf("wait segment: %+v", segs1[0])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	res, err := Run(1, Cost{GammaT: 1}, func(r *Rank) error {
+		r.Compute(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("trace should be nil when not requested")
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	// Rank 0 computes 100, sends to 1; rank 1 computes 50 (overlapped),
+	// receives, computes 20. Critical path: compute(100)@0 → send@0 →
+	// compute(20)@1; rank 1's first 50 is off-path.
+	cost := Cost{GammaT: 1, AlphaT: 5, Trace: true}
+	res, err := Run(2, cost, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(100)
+			r.Send(1, []float64{1})
+		} else {
+			r.Compute(50)
+			r.Recv(0)
+			r.Compute(20)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.Trace.CriticalPath()
+	if len(path) != 3 {
+		t.Fatalf("path length %d: %+v", len(path), path)
+	}
+	if path[0].Kind != SegCompute || path[0].Duration() != 100 {
+		t.Errorf("path[0]: %+v", path[0])
+	}
+	if path[1].Kind != SegSend || path[1].Duration() != 5 {
+		t.Errorf("path[1]: %+v", path[1])
+	}
+	if path[2].Kind != SegCompute || path[2].Duration() != 20 {
+		t.Errorf("path[2]: %+v", path[2])
+	}
+	// The path tiles [0, T].
+	bd := PathBreakdown(path)
+	total := bd[SegCompute] + bd[SegSend] + bd[SegWait] + bd[SegRecv]
+	if math.Abs(total-res.Time()) > 1e-12 {
+		t.Errorf("path total %g vs runtime %g", total, res.Time())
+	}
+}
+
+func TestCriticalPathTilesTime(t *testing.T) {
+	// A messier program: the path must still tile [0, T] exactly.
+	cost := Cost{GammaT: 1e-3, AlphaT: 0.5, BetaT: 0.01, Trace: true}
+	res, err := Run(6, cost, func(r *Rank) error {
+		w := r.World()
+		r.Compute(float64(100 * (r.ID() + 1)))
+		data := make([]float64, 8)
+		for s := 0; s < 3; s++ {
+			data = w.Shift(data, 1)
+			r.Compute(50)
+		}
+		w.AllReduce(data, OpSum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.Trace.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	bd := PathBreakdown(path)
+	total := 0.0
+	for _, v := range bd {
+		total += v
+	}
+	if math.Abs(total-res.Time()) > 1e-9*res.Time() {
+		t.Errorf("path covers %g of %g", total, res.Time())
+	}
+	// Segments are contiguous and ordered.
+	for i := 1; i < len(path); i++ {
+		if math.Abs(path[i].Start-path[i-1].End) > 1e-9 {
+			t.Fatalf("path gap between %+v and %+v", path[i-1], path[i])
+		}
+	}
+	// No wait segments except possibly the leading one: following the
+	// sender at each wait removes idle time from the path.
+	for i, s := range path {
+		if s.Kind == SegWait && i != 0 {
+			t.Errorf("interior wait on critical path: %+v", s)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	cost := Cost{GammaT: 1, AlphaT: 1, Trace: true}
+	res, err := Run(2, cost, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(99)
+			r.Send(1, nil) // +1 => T=100
+		} else {
+			r.Recv(0) // waits 100, does nothing else
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Trace.Utilization(res.Time())
+	if u[0] != 1 {
+		t.Errorf("rank 0 utilization %g, want 1", u[0])
+	}
+	if u[1] != 0 {
+		t.Errorf("rank 1 utilization %g, want 0", u[1])
+	}
+	if z := res.Trace.Utilization(0); z[0] != 0 {
+		t.Error("zero total time should give zero utilization")
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	names := map[SegmentKind]string{
+		SegCompute: "compute", SegSend: "send", SegWait: "wait", SegRecv: "recv",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d: got %q", int(k), k.String())
+		}
+	}
+	if SegmentKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	tr := &Trace{Segments: make([][]Segment, 3)}
+	if got := tr.CriticalPath(); got != nil {
+		t.Errorf("empty trace path: %+v", got)
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	cost := Cost{GammaT: 1, AlphaT: 10, Trace: true}
+	res, err := Run(2, cost, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(80)
+			r.Send(1, []float64{1})
+		} else {
+			r.Recv(0)
+			r.Compute(10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Trace.RenderGantt(res.Time(), 40)
+	if !strings.Contains(out, "r00 |") || !strings.Contains(out, "r01 |") {
+		t.Fatalf("missing rank rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d", len(lines))
+	}
+	r0, r1 := lines[1], lines[2]
+	if !strings.Contains(r0, "#") || !strings.Contains(r0, ">") {
+		t.Errorf("rank 0 should show compute then send:\n%s", r0)
+	}
+	if !strings.Contains(r1, ".") || !strings.Contains(r1, "#") {
+		t.Errorf("rank 1 should show wait then compute:\n%s", r1)
+	}
+	// The wait dots come before the compute on rank 1.
+	if strings.Index(r1, ".") > strings.Index(r1, "#") {
+		t.Error("rank 1 ordering wrong")
+	}
+	if got := res.Trace.RenderGantt(0, 40); !strings.Contains(got, "empty") {
+		t.Error("zero-length trace should say empty")
+	}
+}

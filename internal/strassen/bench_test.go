@@ -1,0 +1,34 @@
+package strassen
+
+import (
+	"testing"
+
+	"perfscale/internal/matrix"
+)
+
+func BenchmarkSerialStrassen256(b *testing.B) {
+	x := matrix.Random(256, 256, 1)
+	y := matrix.Random(256, 256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Multiply(x, y, 64)
+	}
+}
+
+func BenchmarkClassical256(b *testing.B) {
+	x := matrix.Random(256, 256, 1)
+	y := matrix.Random(256, 256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = matrix.Mul(x, y)
+	}
+}
+
+func BenchmarkZOrderRoundTrip(b *testing.B) {
+	a := matrix.Random(256, 256, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := DenseToZ(a)
+		_ = ZToDense(z, 256)
+	}
+}

@@ -1,0 +1,48 @@
+package strassen
+
+import (
+	"testing"
+
+	"perfscale/internal/matrix"
+)
+
+// FuzzZOrderRoundTrip drives the Morton-layout conversion with arbitrary
+// sizes and seeds: the round trip must always be exact, including odd and
+// mixed even/odd recursion terminals.
+func FuzzZOrderRoundTrip(f *testing.F) {
+	f.Add(uint8(4), int64(1))
+	f.Add(uint8(7), int64(2))
+	f.Add(uint8(12), int64(3))
+	f.Add(uint8(1), int64(4))
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64) {
+		n := int(nRaw)%32 + 1
+		a := matrix.Random(n, n, seed)
+		z := DenseToZ(a)
+		if len(z) != n*n {
+			t.Fatalf("n=%d: Z length %d", n, len(z))
+		}
+		back := ZToDense(z, n)
+		if d := back.MaxAbsDiff(a); d != 0 {
+			t.Fatalf("n=%d seed=%d: round trip diff %g", n, seed, d)
+		}
+	})
+}
+
+// FuzzStrassenMatchesClassical checks serial Strassen against the blocked
+// classical kernel for arbitrary sizes and cutoffs.
+func FuzzStrassenMatchesClassical(f *testing.F) {
+	f.Add(uint8(8), uint8(2), int64(1))
+	f.Add(uint8(15), uint8(4), int64(2))
+	f.Add(uint8(32), uint8(1), int64(3))
+	f.Fuzz(func(t *testing.T, nRaw, cutRaw uint8, seed int64) {
+		n := int(nRaw)%48 + 1
+		cutoff := int(cutRaw)%16 + 1
+		a := matrix.Random(n, n, seed)
+		b := matrix.Random(n, n, seed+1)
+		got := Multiply(a, b, cutoff)
+		want := matrix.Mul(a, b)
+		if d := got.MaxAbsDiff(want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d cutoff=%d: diff %g", n, cutoff, d)
+		}
+	})
+}

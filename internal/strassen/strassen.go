@@ -1,0 +1,171 @@
+// Package strassen implements fast matrix multiplication: serial Strassen
+// with a classical-kernel cutoff, and a CAPS-style parallel Strassen on the
+// simulator (BFS recursion over 7^k ranks), the algorithm whose
+// communication costs instantiate the paper's Eqs. 13–14.
+package strassen
+
+import (
+	"perfscale/internal/matrix"
+)
+
+// DefaultCutoff is the submatrix size below which the classical kernel is
+// used. 64 balances recursion overhead against the O(n³)/O(n^2.81)
+// crossover for the pure-Go kernel.
+const DefaultCutoff = 64
+
+// Multiply returns A·B using Strassen's algorithm with the given cutoff.
+// Odd-sized (sub)matrices fall back to the classical kernel, so any square
+// size works; power-of-two sizes recurse all the way down.
+func Multiply(a, b *matrix.Dense, cutoff int) *matrix.Dense {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		panic("strassen: need equal square operands")
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	return multiply(a, b, cutoff)
+}
+
+func multiply(a, b *matrix.Dense, cutoff int) *matrix.Dense {
+	n := a.Rows
+	if n <= cutoff || n%2 != 0 {
+		return matrix.Mul(a, b)
+	}
+	h := n / 2
+	a11 := a.Block(0, 0, h, h)
+	a12 := a.Block(0, h, h, h)
+	a21 := a.Block(h, 0, h, h)
+	a22 := a.Block(h, h, h, h)
+	b11 := b.Block(0, 0, h, h)
+	b12 := b.Block(0, h, h, h)
+	b21 := b.Block(h, 0, h, h)
+	b22 := b.Block(h, h, h, h)
+
+	m1 := multiply(add(a11, a22), add(b11, b22), cutoff)
+	m2 := multiply(add(a21, a22), b11, cutoff)
+	m3 := multiply(a11, sub(b12, b22), cutoff)
+	m4 := multiply(a22, sub(b21, b11), cutoff)
+	m5 := multiply(add(a11, a12), b22, cutoff)
+	m6 := multiply(sub(a21, a11), add(b11, b12), cutoff)
+	m7 := multiply(sub(a12, a22), add(b21, b22), cutoff)
+
+	c := matrix.New(n, n)
+	// C11 = M1 + M4 − M5 + M7
+	c11 := m1.Clone()
+	c11.Add(m4)
+	c11.Sub(m5)
+	c11.Add(m7)
+	// C12 = M3 + M5
+	c12 := m3.Clone()
+	c12.Add(m5)
+	// C21 = M2 + M4
+	c21 := m2.Clone()
+	c21.Add(m4)
+	// C22 = M1 − M2 + M3 + M6
+	c22 := m1.Clone()
+	c22.Sub(m2)
+	c22.Add(m3)
+	c22.Add(m6)
+	c.SetBlock(0, 0, c11)
+	c.SetBlock(0, h, c12)
+	c.SetBlock(h, 0, c21)
+	c.SetBlock(h, h, c22)
+	return c
+}
+
+func add(a, b *matrix.Dense) *matrix.Dense {
+	c := a.Clone()
+	c.Add(b)
+	return c
+}
+
+func sub(a, b *matrix.Dense) *matrix.Dense {
+	c := a.Clone()
+	c.Sub(b)
+	return c
+}
+
+// Flops returns the floating-point operations Multiply performs on n×n
+// operands with the given cutoff: classical 2n³ at the leaves plus
+// 18·(n/2)² additions per recursion step. This is what the simulator
+// charges for local Strassen multiplies.
+func Flops(n, cutoff int) float64 {
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	if n <= cutoff || n%2 != 0 {
+		return 2 * float64(n) * float64(n) * float64(n)
+	}
+	h := float64(n / 2)
+	return 7*Flops(n/2, cutoff) + 18*h*h
+}
+
+// --- Morton (Z-order) layout helpers for the parallel algorithm -----------
+
+// DenseToZ flattens a square matrix into the recursive quadrant-major
+// ("Z-order") layout: [Z(A11), Z(A12), Z(A21), Z(A22)], bottoming out at
+// single elements. In this layout every quadrant — at every recursion
+// depth — is a contiguous slice, which is what lets CAPS redistribute
+// subproblems with contiguous messages.
+func DenseToZ(a *matrix.Dense) []float64 {
+	if a.Rows != a.Cols {
+		panic("strassen: Z-order needs a square matrix")
+	}
+	out := make([]float64, 0, a.Rows*a.Cols)
+	return appendZ(out, a, 0, 0, a.Rows)
+}
+
+func appendZ(out []float64, a *matrix.Dense, r0, c0, size int) []float64 {
+	if size == 1 {
+		return append(out, a.At(r0, c0))
+	}
+	if size%2 != 0 {
+		// Odd block: row-major terminal (only reached when the recursion
+		// stops subdividing, which the parallel algorithm never does for
+		// its supported sizes).
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				out = append(out, a.At(r0+i, c0+j))
+			}
+		}
+		return out
+	}
+	h := size / 2
+	out = appendZ(out, a, r0, c0, h)
+	out = appendZ(out, a, r0, c0+h, h)
+	out = appendZ(out, a, r0+h, c0, h)
+	return appendZ(out, a, r0+h, c0+h, h)
+}
+
+// ZToDense inverts DenseToZ for an n×n matrix.
+func ZToDense(z []float64, n int) *matrix.Dense {
+	if len(z) != n*n {
+		panic("strassen: Z length mismatch")
+	}
+	a := matrix.New(n, n)
+	pos := 0
+	fillZ(z, &pos, a, 0, 0, n)
+	return a
+}
+
+func fillZ(z []float64, pos *int, a *matrix.Dense, r0, c0, size int) {
+	if size == 1 {
+		a.Set(r0, c0, z[*pos])
+		*pos++
+		return
+	}
+	if size%2 != 0 {
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				a.Set(r0+i, c0+j, z[*pos])
+				*pos++
+			}
+		}
+		return
+	}
+	h := size / 2
+	fillZ(z, pos, a, r0, c0, h)
+	fillZ(z, pos, a, r0, c0+h, h)
+	fillZ(z, pos, a, r0+h, c0, h)
+	fillZ(z, pos, a, r0+h, c0+h, h)
+}

@@ -1,0 +1,217 @@
+package strassen
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+var zeroCost = sim.Cost{}
+
+func TestMultiplyMatchesClassical(t *testing.T) {
+	for _, tc := range []struct{ n, cutoff int }{
+		{1, 1}, {2, 1}, {4, 1}, {8, 2}, {16, 4}, {32, 8},
+		{6, 1},  // even but not power of two
+		{10, 4}, // recursion then odd fallback (5x5)
+		{7, 2},  // odd: direct fallback
+		{64, 16},
+	} {
+		a := matrix.Random(tc.n, tc.n, int64(tc.n))
+		b := matrix.Random(tc.n, tc.n, int64(tc.n)+99)
+		want := matrix.Mul(a, b)
+		got := Multiply(a, b, tc.cutoff)
+		if d := got.MaxAbsDiff(want); d > 1e-9*float64(tc.n) {
+			t.Errorf("n=%d cutoff=%d: max diff %g", tc.n, tc.cutoff, d)
+		}
+	}
+}
+
+func TestMultiplyPanicsOnBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rectangular operands should panic")
+		}
+	}()
+	Multiply(matrix.New(2, 3), matrix.New(3, 3), 1)
+}
+
+func TestFlops(t *testing.T) {
+	// n=2, cutoff=1: 7 scalar multiplies... leaf n=1 costs 2 flops each,
+	// plus 18 adds of 1 element: 7*2 + 18 = 32.
+	if got := Flops(2, 1); got != 32 {
+		t.Errorf("Flops(2,1) = %g, want 32", got)
+	}
+	// At or below cutoff: classical 2n³.
+	if got := Flops(8, 8); got != 1024 {
+		t.Errorf("Flops(8,8) = %g, want 1024", got)
+	}
+	// Strassen beats classical for large n at small cutoff.
+	if Flops(1024, 32) >= 2*math.Pow(1024, 3) {
+		t.Error("Strassen flops should undercut classical at n=1024")
+	}
+	// Flop count grows as ~7^levels: ratio between successive doublings
+	// approaches 7.
+	r := Flops(2048, 16) / Flops(1024, 16)
+	if r < 6.5 || r > 8.5 {
+		t.Errorf("doubling ratio %g, want ≈7", r)
+	}
+}
+
+func TestZOrderRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8, 16, 28} {
+		a := matrix.Random(n, n, int64(n))
+		z := DenseToZ(a)
+		if len(z) != n*n {
+			t.Fatalf("n=%d: Z length %d", n, len(z))
+		}
+		back := ZToDense(z, n)
+		if d := back.MaxAbsDiff(a); d != 0 {
+			t.Errorf("n=%d: round trip diff %g", n, d)
+		}
+	}
+}
+
+func TestZOrderQuadrantsContiguous(t *testing.T) {
+	n := 8
+	a := matrix.Random(n, n, 3)
+	z := DenseToZ(a)
+	quarter := n * n / 4
+	// First quarter of z must be exactly Z(A11).
+	a11 := a.Block(0, 0, n/2, n/2)
+	z11 := DenseToZ(a11)
+	for i := range z11 {
+		if z[i] != z11[i] {
+			t.Fatalf("Z quadrant not contiguous at %d", i)
+		}
+	}
+	// Fourth quarter is Z(A22).
+	a22 := a.Block(n/2, n/2, n/2, n/2)
+	z22 := DenseToZ(a22)
+	for i := range z22 {
+		if z[3*quarter+i] != z22[i] {
+			t.Fatalf("Z(A22) not contiguous at %d", i)
+		}
+	}
+}
+
+func TestCAPSMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{8, 0},  // p=1
+		{28, 1}, // p=7
+		{56, 1}, // p=7, larger leaves
+		{56, 2}, // p=49
+	} {
+		a := matrix.Random(tc.n, tc.n, int64(tc.n)+5)
+		b := matrix.Random(tc.n, tc.n, int64(tc.n)+55)
+		want := matrix.Mul(a, b)
+		got, err := CAPS(zeroCost, tc.k, a, b, 8)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if d := got.C.MaxAbsDiff(want); d > 1e-9*float64(tc.n) {
+			t.Errorf("n=%d k=%d: max diff %g", tc.n, tc.k, d)
+		}
+	}
+}
+
+func TestCAPSValidation(t *testing.T) {
+	a := matrix.Random(30, 30, 1)
+	b := matrix.Random(30, 30, 2)
+	if _, err := CAPS(zeroCost, 1, a, b, 8); err == nil {
+		t.Error("n=30 (not divisible by 4·7 pattern) should be rejected")
+	}
+	if _, err := CAPS(zeroCost, -1, a, b, 8); err == nil {
+		t.Error("negative k should be rejected")
+	}
+	if _, err := CAPS(zeroCost, 0, matrix.New(3, 4), matrix.New(4, 4), 8); err == nil {
+		t.Error("rectangular operands should be rejected")
+	}
+}
+
+func TestCAPSFlopAdvantage(t *testing.T) {
+	// The CAPS run must perform fewer total flops than classical 2n³ —
+	// that's the whole point of Strassen.
+	n := 56
+	a := matrix.Random(n, n, 7)
+	b := matrix.Random(n, n, 8)
+	res, err := CAPS(zeroCost, 1, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classical := 2 * float64(n) * float64(n) * float64(n)
+	if got := res.Sim.TotalStats().Flops; got >= classical {
+		t.Errorf("CAPS total flops %g should undercut classical %g", got, classical)
+	}
+}
+
+func TestCAPSLoadBalance(t *testing.T) {
+	n := 56
+	a := matrix.Random(n, n, 9)
+	b := matrix.Random(n, n, 10)
+	res, err := CAPS(zeroCost, 1, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxF := res.Sim.MaxStats().Flops
+	avgF := res.Sim.TotalStats().Flops / 7
+	if maxF > 1.2*avgF {
+		t.Errorf("leaf flops imbalanced: max %g avg %g", maxF, avgF)
+	}
+}
+
+func TestCAPSStrongScalingTime(t *testing.T) {
+	// More ranks, same n: simulated time must fall substantially (the
+	// model's FUM regime predicts T ∝ 1/p at fixed n with maximal memory;
+	// levels add bandwidth, so accept a generous bracket around 7).
+	cost := sim.Cost{GammaT: 1e-9, BetaT: 4e-9, AlphaT: 1e-8}
+	n := 56
+	a := matrix.Random(n, n, 11)
+	b := matrix.Random(n, n, 12)
+	r1, err := CAPS(cost, 1, a, b, 4) // p=7
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CAPS(cost, 2, a, b, 4) // p=49
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r1.Sim.Time() / r2.Sim.Time()
+	if s < 2.5 || s > 9 {
+		t.Errorf("p: 7 -> 49 speedup %g, want meaningfully parallel (≈7)", s)
+	}
+}
+
+func TestCAPSMemoryFollowsFUM(t *testing.T) {
+	// Per-rank peak memory should drop ≈4x when k increases by 1
+	// (M = Θ(n²/4^k)).
+	n := 56
+	a := matrix.Random(n, n, 13)
+	b := matrix.Random(n, n, 14)
+	r1, err := CAPS(zeroCost, 1, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CAPS(zeroCost, 2, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r1.Sim.MaxStats().PeakMemWords / r2.Sim.MaxStats().PeakMemWords
+	if ratio < 2.5 || ratio > 5 {
+		t.Errorf("memory ratio k=1/k=2: %g, want ≈4", ratio)
+	}
+}
+
+func TestCAPSIdentity(t *testing.T) {
+	n := 28
+	a := matrix.Random(n, n, 15)
+	id := matrix.Identity(n)
+	res, err := CAPS(zeroCost, 1, a, id, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.C.MaxAbsDiff(a); d > 1e-11 {
+		t.Errorf("A·I diff %g", d)
+	}
+}
