@@ -4,13 +4,18 @@
 package perfscale_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"perfscale/internal/lu"
 	"perfscale/internal/matrix"
 	"perfscale/internal/sim"
 )
+
+// fastDog shortens the watchdog so deadlock tests finish quickly.
+var fastDog = sim.Cost{WatchdogTimeout: 200 * time.Millisecond}
 
 // TestCollectiveSurvivesRankError: a rank failing before a collective turns
 // into an error for the peers that depended on it.
@@ -108,6 +113,73 @@ func TestAlgorithmDriverPropagatesFailure(t *testing.T) {
 	zero := matrix.New(16, 16)
 	if _, err := lu.TwoD(sim.Cost{}, 4, zero); err == nil {
 		t.Error("singular LU should propagate the pivot failure")
+	}
+}
+
+// TestWatchdogNamesMutuallyBlockedRanks: two live ranks each waiting in Recv
+// on the other is the canonical deadlock; the watchdog must return a
+// diagnostic that names the blocked pair instead of hanging forever.
+func TestWatchdogNamesMutuallyBlockedRanks(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := sim.Run(2, fastDog, func(r *sim.Rank) error {
+			r.Recv(1 - r.ID()) // both receive first: nobody ever sends
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mutual Recv deadlock must error")
+		}
+		var de *sim.DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatalf("expected a DeadlockError, got %v", err)
+		}
+		for _, want := range []string{"rank 0 waiting on rank 1", "rank 1 waiting on rank 0"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("diagnostic should contain %q: %v", want, err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not fire within its timeout")
+	}
+}
+
+// TestWatchdogDetectsMismatchedBcastRoot: one rank naming a different Bcast
+// root is a classic SPMD bug. The pattern wedges mid-collective; the
+// watchdog must convert the hang into a diagnostic error.
+func TestWatchdogDetectsMismatchedBcastRoot(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := sim.Run(4, fastDog, func(r *sim.Rank) error {
+			w := r.World()
+			root := 0
+			if r.ID() == 2 {
+				root = 1 // disagrees with everyone else
+			}
+			data := make([]float64, 3)
+			if r.ID() == root {
+				data = []float64{1, 2, 3}
+			}
+			w.Bcast(root, data)
+			w.Barrier()
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mismatched Bcast root must error")
+		}
+		var de *sim.DeadlockError
+		if !errors.As(err, &de) && !strings.Contains(err.Error(), "rank") {
+			t.Errorf("expected a diagnostic naming ranks, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not fire within its timeout")
 	}
 }
 

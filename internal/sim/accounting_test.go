@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMessagesForEdgeCases(t *testing.T) {
+	cases := []struct {
+		maxMsgWords int
+		k           int
+		want        float64
+	}{
+		{0, 0, 1},       // zero-word message, unlimited m: one latency
+		{0, 1 << 20, 1}, /* unlimited m: always one message */
+		{64, 0, 1},      // zero-word message still costs one latency
+		{64, 1, 1},
+		{64, 63, 1},
+		{64, 64, 1},  // exactly divisible: no extra message
+		{64, 65, 2},  // one word over: second message
+		{64, 128, 2}, // exactly two messages
+		{64, 129, 3},
+		{1, 5, 5}, // degenerate m=1: one message per word
+	}
+	for _, tc := range cases {
+		c := &Cluster{cost: Cost{MaxMsgWords: tc.maxMsgWords}}
+		if got := c.messagesFor(tc.k); got != tc.want {
+			t.Errorf("messagesFor(k=%d, m=%d) = %g, want %g", tc.k, tc.maxMsgWords, got, tc.want)
+		}
+	}
+}
+
+// TestStatsDecompositionInvariant pins ComputeTime + SendTime + RecvTime +
+// WaitTime == Time for every rank under the accounting variants that touch
+// the decomposition: ChargeReceiver and per-link costs.
+func TestStatsDecompositionInvariant(t *testing.T) {
+	costs := map[string]Cost{
+		"base": {GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6, MaxMsgWords: 16},
+		"chargeReceiver": {
+			GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6, MaxMsgWords: 16,
+			ChargeReceiver: true,
+		},
+		"perLink": {
+			GammaT: 1e-9, ChargeReceiver: true,
+			Links: TwoLevelLinks{CoresPerNode: 2, IntraAlpha: 1e-7, IntraBeta: 1e-9, InterAlpha: 1e-5, InterBeta: 1e-8},
+		},
+	}
+	for name, cost := range costs {
+		res, err := Run(4, cost, func(r *Rank) error {
+			w := r.World()
+			data := make([]float64, 37) // not a multiple of MaxMsgWords
+			for i := range data {
+				data[i] = float64(r.ID() + i)
+			}
+			for step := 0; step < 3; step++ {
+				r.Compute(float64(1000 * (r.ID() + 1))) // imbalanced: creates waits
+				data = w.Shift(data, 1)
+			}
+			w.AllReduce(data, OpSum)
+			w.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for id, s := range res.PerRank {
+			sum := s.ComputeTime + s.SendTime + s.RecvTime + s.WaitTime
+			if math.Abs(sum-s.Time) > 1e-12*math.Max(1, math.Abs(s.Time)) {
+				t.Errorf("%s rank %d: decomposition %g != Time %g (%+v)", name, id, sum, s.Time, s)
+			}
+			if !cost.ChargeReceiver && s.RecvTime != 0 {
+				t.Errorf("%s rank %d: RecvTime must be zero without ChargeReceiver, got %g", name, id, s.RecvTime)
+			}
+			if cost.ChargeReceiver && s.RecvTime == 0 {
+				t.Errorf("%s rank %d: RecvTime must be positive under ChargeReceiver", name, id)
+			}
+		}
+	}
+}

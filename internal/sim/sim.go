@@ -21,6 +21,14 @@
 // Per-rank counters record flops, words/messages sent and received, and the
 // peak of an explicitly tracked memory allocation count; the core package
 // prices these counters with the paper's energy model.
+//
+// The runtime is robust under failure: a seeded FaultPlan injects rank
+// crashes, message drops/duplications/corruptions and degraded-link windows
+// deterministically (keyed on rank, virtual clock and send count only), and
+// a real-time deadlock watchdog converts hangs — mismatched point-to-point
+// programs, sends to exited ranks, dropped messages — into diagnostic
+// errors naming the blocked ranks. internal/resilience builds recovering
+// algorithms on top of these hooks.
 package sim
 
 import (
@@ -28,6 +36,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Cost holds the timing parameters the runtime uses to advance virtual
@@ -56,6 +66,18 @@ type Cost struct {
 	// for critical-path and power-profile analysis; Result.Trace carries
 	// them after the run.
 	Trace bool
+	// ChanCap overrides DefaultChanCap, the per-pair channel buffer in
+	// messages. Zero means the default; negative values are rejected.
+	ChanCap int
+	// Faults optionally injects deterministic failures (crashes, message
+	// drops/duplications/corruptions, degraded links); nil runs fault-free.
+	Faults *FaultPlan
+	// WatchdogTimeout is the REAL-time window of cluster-wide inactivity
+	// after which the deadlock watchdog aborts blocked ranks with a
+	// diagnostic error instead of letting the run hang (mismatched
+	// point-to-point programs, drops, sends to exited ranks). Zero means
+	// DefaultWatchdogTimeout; negative disables the watchdog.
+	WatchdogTimeout time.Duration
 }
 
 // linkParams returns the effective per-message latency and per-word time
@@ -99,19 +121,50 @@ type message struct {
 	arrival float64 // sender's virtual clock when the message left
 }
 
+// exitStatus records how a rank left the run, so a peer's failed Recv can
+// name the root cause instead of a generic "exited without sending".
+type exitStatus int
+
+const (
+	exitRunning exitStatus = iota
+	exitClean              // fn returned nil
+	exitFailed             // fn returned an error
+	exitPanicked
+	exitCrashed // injected hard crash
+	exitAborted // watchdog abort
+)
+
+type exitInfo struct {
+	status exitStatus
+	err    error
+}
+
 // Cluster is a set of p ranks wired with per-pair FIFO channels.
 type Cluster struct {
 	p      int
 	cost   Cost
 	chans  [][]chan message // chans[src][dst]
 	tracer *tracer
+
+	// states holds the packed per-rank blocking state the watchdog
+	// samples (see watchdog.go); aborts/abortErr release blocked ranks
+	// with a diagnostic; exits records each rank's exit status, written
+	// before its channels close (the close happens-before a peer's
+	// failed receive, so reads after !ok are race-free).
+	states   []atomic.Uint64
+	aborts   []chan struct{}
+	abortErr []*DeadlockError
+	exits    []exitInfo
 }
 
-// DefaultChanCap is the per-pair channel buffer. Senders block (in real
-// time, not virtual time) when a pair's buffer fills; virtual clocks are
-// unaffected. The value is a compromise: large enough that no algorithm in
-// this repository queues that many unreceived messages on one pair, small
-// enough that a p-rank cluster's p² channels stay cheap to allocate.
+// DefaultChanCap is the per-pair channel buffer (override per run with
+// Cost.ChanCap). Senders block (in real time, not virtual time) when a
+// pair's buffer fills; virtual clocks are unaffected, and a send that can
+// never complete — the receiver already exited, or the cluster is
+// deadlocked — is aborted by the watchdog with a diagnostic error. The
+// value is a compromise: large enough that no algorithm in this repository
+// queues that many unreceived messages on one pair, small enough that a
+// p-rank cluster's p² channels stay cheap to allocate.
 const DefaultChanCap = 64
 
 // NewCluster creates a cluster of p ranks with the given timing costs.
@@ -122,16 +175,35 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	if cost.GammaT < 0 || cost.BetaT < 0 || cost.AlphaT < 0 || cost.MaxMsgWords < 0 {
 		return nil, fmt.Errorf("sim: negative cost parameters: %+v", cost)
 	}
+	if cost.ChanCap < 0 {
+		return nil, fmt.Errorf("sim: negative channel capacity %d", cost.ChanCap)
+	}
+	if cost.Faults != nil {
+		if err := cost.Faults.Validate(p); err != nil {
+			return nil, err
+		}
+	}
 	c := &Cluster{p: p, cost: cost}
 	if cost.Trace {
 		c.tracer = &tracer{segments: make([][]Segment, p)}
+	}
+	bufCap := cost.ChanCap
+	if bufCap == 0 {
+		bufCap = DefaultChanCap
 	}
 	c.chans = make([][]chan message, p)
 	for src := 0; src < p; src++ {
 		c.chans[src] = make([]chan message, p)
 		for dst := 0; dst < p; dst++ {
-			c.chans[src][dst] = make(chan message, DefaultChanCap)
+			c.chans[src][dst] = make(chan message, bufCap)
 		}
+	}
+	c.states = make([]atomic.Uint64, p)
+	c.aborts = make([]chan struct{}, p)
+	c.abortErr = make([]*DeadlockError, p)
+	c.exits = make([]exitInfo, p)
+	for i := range c.aborts {
+		c.aborts[i] = make(chan struct{})
 	}
 	return c, nil
 }
@@ -148,6 +220,14 @@ type Rank struct {
 	clock   float64
 	stats   Stats
 	curMem  float64
+
+	// stateSeq shadows the watchdog state word's sequence counter (only
+	// this goroutine writes it); sendCount keys fault-plan decisions;
+	// crashDone/crashPending implement the injected-crash lifecycle.
+	stateSeq     uint32
+	sendCount    int
+	crashDone    bool
+	crashPending bool
 }
 
 // ID returns the rank's index in [0, P).
@@ -172,6 +252,7 @@ func (r *Rank) Compute(flops float64) {
 	if flops < 0 {
 		panic("sim: negative flop count")
 	}
+	r.crashCheck()
 	r.stats.Flops += flops
 	dt := r.cluster.cost.GammaT * flops
 	r.stats.ComputeTime += dt
@@ -198,18 +279,60 @@ func (r *Rank) Send(dst int, data []float64) {
 	if dst < 0 || dst >= r.cluster.p {
 		panic(fmt.Sprintf("sim: rank %d sending to invalid rank %d", r.id, dst))
 	}
+	r.crashCheck()
 	k := len(data)
 	msgs := r.cluster.messagesFor(k)
 	r.stats.WordsSent += float64(k)
 	r.stats.MsgsSent += msgs
 	alpha, beta := r.cluster.cost.linkParams(r.id, dst)
+	fp := r.cluster.cost.Faults
+	if fp != nil {
+		af, bf := fp.degradeFactors(r.id, dst, r.clock)
+		alpha *= af
+		beta *= bf
+	}
 	dt := alpha*msgs + beta*float64(k)
 	r.stats.SendTime += dt
 	r.record(Segment{Kind: SegSend, Start: r.clock, End: r.clock + dt, Peer: dst, Words: k, Msgs: msgs})
 	r.clock += dt
 	cp := make([]float64, k)
 	copy(cp, data)
-	r.cluster.chans[r.id][dst] <- message{data: cp, arrival: r.clock}
+	seq := r.sendCount
+	r.sendCount++
+	if fp != nil {
+		drop, dup, corrupt := fp.messageFate(r.id, dst, seq, r.clock)
+		if corrupt && k > 0 {
+			cp[fp.corruptIndex(r.id, dst, seq, k)] += 1.0
+		}
+		if drop {
+			return // the sender has paid; the network loses the message
+		}
+		if dup {
+			extra := make([]float64, k)
+			copy(extra, cp)
+			r.deliver(dst, message{data: extra, arrival: r.clock})
+		}
+	}
+	r.deliver(dst, message{data: cp, arrival: r.clock})
+}
+
+// deliver enqueues a message on the pair's channel. The fast path never
+// blocks; when the buffer is full the wait is published to the watchdog,
+// which aborts the send if it can never complete (deadlock or exited peer).
+func (r *Rank) deliver(dst int, m message) {
+	ch := r.cluster.chans[r.id][dst]
+	select {
+	case ch <- m:
+		return
+	default:
+	}
+	r.setState(opBlockedSend, dst)
+	select {
+	case ch <- m:
+		r.setState(opRunning, 0)
+	case <-r.cluster.aborts[r.id]:
+		panic(abortPanic{err: r.cluster.abortErr[r.id]})
+	}
 }
 
 // Recv receives the next message from rank src, blocking until it arrives.
@@ -218,9 +341,33 @@ func (r *Rank) Recv(src int) []float64 {
 	if src < 0 || src >= r.cluster.p {
 		panic(fmt.Sprintf("sim: rank %d receiving from invalid rank %d", r.id, src))
 	}
-	msg, ok := <-r.cluster.chans[src][r.id]
+	r.crashCheck()
+	ch := r.cluster.chans[src][r.id]
+	var msg message
+	var ok bool
+	select {
+	case msg, ok = <-ch:
+	default:
+		// Nothing buffered: publish the wait so the watchdog can see it.
+		r.setState(opBlockedRecv, src)
+		select {
+		case msg, ok = <-ch:
+			r.setState(opRunning, 0)
+		case <-r.cluster.aborts[r.id]:
+			panic(abortPanic{err: r.cluster.abortErr[r.id]})
+		}
+	}
 	if !ok {
-		panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which exited without sending", r.id, src))
+		// The channel close happens-before this receive, so the peer's
+		// exit record is safe to read; name the root cause.
+		switch ei := r.cluster.exits[src]; ei.status {
+		case exitClean:
+			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which exited without sending (clean exit; mismatched communication pattern?)", r.id, src))
+		case exitCrashed:
+			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which crashed (root cause: %v)", r.id, src, ei.err))
+		default:
+			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which failed (cascade; root cause: %v)", r.id, src, ei.err))
+		}
 	}
 	if msg.arrival > r.clock {
 		r.stats.WaitTime += msg.arrival - r.clock
@@ -358,6 +505,14 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 		res.Trace = &Trace{Segments: c.tracer.segments}
 	}
 	errs := make([]error, c.p)
+	stop := make(chan struct{})
+	if c.cost.WatchdogTimeout >= 0 {
+		timeout := c.cost.WatchdogTimeout
+		if timeout == 0 {
+			timeout = DefaultWatchdogTimeout
+		}
+		go c.watch(stop, timeout)
+	}
 	var wg sync.WaitGroup
 	for id := 0; id < c.p; id++ {
 		wg.Add(1)
@@ -365,13 +520,30 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 			defer wg.Done()
 			r := &Rank{cluster: c, id: id}
 			defer func() {
+				status := exitClean
 				if rec := recover(); rec != nil {
-					errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+					switch p := rec.(type) {
+					case crashPanic:
+						errs[id] = p.err
+						status = exitCrashed
+					case abortPanic:
+						errs[id] = p.err
+						status = exitAborted
+					default:
+						errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+						status = exitPanicked
+					}
+				} else if errs[id] != nil {
+					status = exitFailed
 				}
 				res.PerRank[id] = r.Stats()
-				// Closing this rank's outgoing channels turns a peer's
-				// unmatched Recv into a clean error instead of a deadlock;
-				// already-buffered messages are still delivered first.
+				// Record how this rank left (read by peers after they
+				// observe the channel close) and tell the watchdog it is
+				// gone, then close the outgoing channels: a peer's
+				// unmatched Recv becomes a clean error instead of a
+				// deadlock; already-buffered messages are delivered first.
+				c.exits[id] = exitInfo{status: status, err: errs[id]}
+				r.setState(opExited, 0)
 				for dst := 0; dst < c.p; dst++ {
 					close(c.chans[id][dst])
 				}
@@ -380,6 +552,7 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 		}(id)
 	}
 	wg.Wait()
+	close(stop)
 	// Join every rank's error: a single failure usually cascades into
 	// "peer exited" panics on other ranks, and the root cause must not be
 	// masked by whichever rank id happens to come first.

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The runtime blocks in real time in exactly two places: a Recv waiting for
+// a message and a Send whose pair buffer is full. Both instrument the wait
+// with an atomic per-rank state word so a supervisor goroutine (the
+// watchdog) can observe the whole cluster without locks:
+//
+//	bits 63..32  seq     — bumped on every transition, so "unchanged word"
+//	                       means "still in the very same wait"
+//	bits 31..30  op      — running / blocked-recv / blocked-send / exited
+//	bits 29..0   peer    — the rank waited on (blocked states only)
+//
+// When every still-live rank has sat in an unchanged blocked state for the
+// watchdog timeout, no message can ever arrive (the simulation has no
+// external inputs), so the run is deadlocked: the watchdog aborts each
+// blocked rank with a DeadlockError naming who waits on whom. A rank
+// blocked sending to a peer that already exited can never be released
+// either — even while the rest of the cluster makes progress — so that
+// case is detected per rank.
+
+// Rank states packed into the atomic word.
+const (
+	opRunning uint64 = iota
+	opBlockedRecv
+	opBlockedSend
+	opExited
+)
+
+const peerMask = 1<<30 - 1
+
+func packState(seq uint32, op uint64, peer int) uint64 {
+	return uint64(seq)<<32 | op<<30 | uint64(peer)&peerMask
+}
+
+func unpackState(w uint64) (op uint64, peer int) {
+	return w >> 30 & 3, int(w & peerMask)
+}
+
+// setState publishes a rank's blocking state to the watchdog.
+func (r *Rank) setState(op uint64, peer int) {
+	r.stateSeq++
+	r.cluster.states[r.id].Store(packState(r.stateSeq, op, peer))
+}
+
+// DefaultWatchdogTimeout is the real-time window of cluster-wide inactivity
+// after which Run declares deadlock (override with Cost.WatchdogTimeout).
+const DefaultWatchdogTimeout = time.Second
+
+// DeadlockError is the diagnostic a rank aborted by the watchdog reports.
+type DeadlockError struct {
+	// Rank is the aborted rank; Op is "recv" or "send"; Peer is the rank
+	// it was blocked on.
+	Rank int
+	Op   string
+	Peer int
+	// PeerExited marks the send-to-exited-rank case: the peer can never
+	// drain the pair's channel again.
+	PeerExited bool
+	// Graph is the cluster-wide wait-for description at detection time
+	// (empty for the per-rank send-to-exited case).
+	Graph string
+}
+
+func (e *DeadlockError) Error() string {
+	if e.PeerExited {
+		return fmt.Sprintf("sim: watchdog: rank %d blocked in send to exited rank %d, which can no longer receive", e.Rank, e.Peer)
+	}
+	msg := fmt.Sprintf("sim: watchdog: deadlock: rank %d blocked in %s waiting on rank %d", e.Rank, e.Op, e.Peer)
+	if e.Graph != "" {
+		msg += " (" + e.Graph + ")"
+	}
+	return msg
+}
+
+// abortPanic carries a watchdog abort out of the blocked operation; Run
+// recovers it and reports the DeadlockError.
+type abortPanic struct{ err *DeadlockError }
+
+// abort releases rank id from its blocked operation with the given
+// diagnostic. The error is published before the channel close, which
+// happens-before the aborted rank's select observing it.
+func (c *Cluster) abort(id int, err *DeadlockError) {
+	c.abortErr[id] = err
+	close(c.aborts[id])
+}
+
+func opName(op uint64) string {
+	if op == opBlockedSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// watch is the watchdog loop; Run starts it in a goroutine and closes stop
+// when all ranks have finished.
+func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
+	tick := timeout / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	prev := make([]uint64, c.p)
+	since := make([]time.Time, c.p)
+	fired := make([]bool, c.p)
+	now := time.Now()
+	for i := range since {
+		since[i] = now
+	}
+	cur := make([]uint64, c.p)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now = time.Now()
+		for id := 0; id < c.p; id++ {
+			cur[id] = c.states[id].Load()
+			if cur[id] != prev[id] {
+				prev[id] = cur[id]
+				since[id] = now
+			}
+		}
+		// Case 1: a rank stuck sending to a peer that already exited.
+		// The peer will never drain the pair's buffer, so this send can
+		// never complete no matter what the rest of the cluster does.
+		for id := 0; id < c.p; id++ {
+			op, peer := unpackState(cur[id])
+			if op != opBlockedSend || fired[id] {
+				continue
+			}
+			if peerOp, _ := unpackState(cur[peer]); peerOp != opExited {
+				continue
+			}
+			if now.Sub(since[id]) >= timeout {
+				c.abort(id, &DeadlockError{Rank: id, Op: "send", Peer: peer, PeerExited: true})
+				fired[id] = true
+			}
+		}
+		// Case 2: global deadlock — every live rank blocked, none of them
+		// rescheduled for a full timeout. The simulation has no external
+		// inputs, so nothing can ever release them.
+		anyLive, allStuck := false, true
+		for id := 0; id < c.p; id++ {
+			op, _ := unpackState(cur[id])
+			if op == opExited {
+				continue
+			}
+			anyLive = true
+			if op == opRunning || fired[id] || now.Sub(since[id]) < timeout {
+				allStuck = false
+				break
+			}
+		}
+		if !anyLive || !allStuck {
+			continue
+		}
+		graph := waitGraph(cur)
+		for id := 0; id < c.p; id++ {
+			op, peer := unpackState(cur[id])
+			if op == opBlockedRecv || op == opBlockedSend {
+				c.abort(id, &DeadlockError{Rank: id, Op: opName(op), Peer: peer, Graph: graph})
+				fired[id] = true
+			}
+		}
+	}
+}
+
+// waitGraph renders the wait-for relation of the blocked ranks, e.g.
+// "rank 3 waiting on rank 5, rank 5 waiting on rank 3".
+func waitGraph(states []uint64) string {
+	var b strings.Builder
+	for id, w := range states {
+		op, peer := unpackState(w)
+		if op != opBlockedRecv && op != opBlockedSend {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "rank %d waiting on rank %d", id, peer)
+	}
+	return "wait-for graph: " + b.String()
+}
