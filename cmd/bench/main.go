@@ -1,0 +1,242 @@
+// Command bench runs a fixed matrix of (algorithm, p, M) simulations and
+// records, for each, the runtime footprint of hosting it (wall-clock,
+// allocation, peak RSS, wired pair count) next to the simulated physics
+// (virtual time T and priced energy E). Its headline artifact is the
+// dense-vs-sparse wiring comparison: identical simulated results at every
+// p where dense is feasible, and a p = 16384 run that only sparse wiring
+// can host.
+//
+// Output is a JSON report (default BENCH_sim.json) meant to be committed,
+// so scaling regressions of the simulator itself show up in review.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+	"perfscale/internal/matmul"
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+// runRecord is one benchmark row: one algorithm at one (p, M) point under
+// one wiring mode.
+type runRecord struct {
+	Algorithm string `json:"algorithm"`
+	Q         int    `json:"q"`
+	C         int    `json:"c"`
+	P         int    `json:"p"`
+	N         int    `json:"n"`
+	Wiring    string `json:"wiring"`
+
+	// Host-side footprint of running the simulation.
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	PeakRSSKB   uint64  `json:"peak_rss_kb,omitempty"` // VmHWM; process-wide and monotone
+	ActivePairs int     `json:"active_pairs"`
+
+	// Simulated physics of the run.
+	SimTime      float64 `json:"sim_time_s"`
+	EnergyJoules float64 `json:"energy_joules"`
+	MaxFlops     float64 `json:"max_flops"`
+	MaxWordsSent float64 `json:"max_words_sent"`
+	MaxMsgsSent  float64 `json:"max_msgs_sent"`
+	MaxMemWords  float64 `json:"max_mem_words"`
+}
+
+// comparison records a dense-vs-sparse pair at one point and whether every
+// per-rank counter and clock matched bit for bit.
+type comparison struct {
+	Algorithm    string  `json:"algorithm"`
+	P            int     `json:"p"`
+	BitIdentical bool    `json:"bit_identical"`
+	DenseWallS   float64 `json:"dense_wall_seconds"`
+	SparseWallS  float64 `json:"sparse_wall_seconds"`
+	DensePairs   int     `json:"dense_active_pairs"`
+	SparsePairs  int     `json:"sparse_active_pairs"`
+}
+
+type report struct {
+	Machine     string       `json:"machine"`
+	N           int          `json:"n"`
+	Runs        []runRecord  `json:"runs"`
+	Comparisons []comparison `json:"dense_vs_sparse"`
+}
+
+// vmHWM reads the process's peak resident set (kB) from /proc/self/status;
+// it returns 0 where that interface does not exist.
+func vmHWM() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+type algo struct {
+	name string
+	run  func(cost sim.Cost, q, c int, a, b *matrix.Dense) (*matmul.RunResult, error)
+}
+
+type point struct {
+	q, c int
+	// denseToo also runs the point under dense wiring and records the
+	// bit-identical comparison. Kept to p ≤ 1024: dense wiring at 4096
+	// ranks allocates a 16M-entry queue matrix, at 16384 a 268M-entry one.
+	denseToo bool
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_sim.json", "output JSON path")
+		mach = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
+		n    = flag.Int("n", 256, "matrix dimension (must be divisible by every grid size)")
+		big  = flag.Bool("big", true, "include the p=16384 run (sparse wiring only)")
+	)
+	flag.Parse()
+
+	m, err := machine.Resolve(*mach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	algos := []algo{
+		{"2.5D-cannon", matmul.TwoPointFiveD},
+		{"2.5D-summa", matmul.TwoPointFiveDSUMMA},
+	}
+	points := []point{
+		{q: 16, c: 1, denseToo: true}, // p = 256
+		{q: 32, c: 1, denseToo: true}, // p = 1024
+		{q: 16, c: 4, denseToo: true}, // p = 1024, replicated
+		{q: 64, c: 1},                 // p = 4096: dense would need 16M queues
+	}
+	bigPoint := point{q: 64, c: 4} // p = 16384: infeasible before sparse wiring
+
+	a := matrix.Random(*n, *n, 1)
+	b := matrix.Random(*n, *n, 2)
+
+	// The simulated virtual-time cost comes from the machine's per-op
+	// times; ChanCap is kept small so queue buffers stay cheap at large p.
+	cost := sim.Cost{
+		GammaT: m.GammaT, BetaT: m.BetaT, AlphaT: m.AlphaT,
+		ChanCap:         8,
+		WatchdogTimeout: 10 * time.Minute,
+	}
+
+	rep := report{Machine: *mach, N: *n}
+
+	measure := func(al algo, pt point, w sim.Wiring) (runRecord, *matmul.RunResult) {
+		c := cost
+		c.Wiring = w
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err := al.run(c, pt.q, pt.c, a, b)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s q=%d c=%d (%v): %v\n", al.name, pt.q, pt.c, w, err)
+			os.Exit(1)
+		}
+		mx := res.Sim.MaxStats()
+		rec := runRecord{
+			Algorithm: al.name, Q: pt.q, C: pt.c, P: pt.q * pt.q * pt.c, N: *n,
+			Wiring:       w.String(),
+			WallSeconds:  wall.Seconds(),
+			AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+			PeakRSSKB:    vmHWM(),
+			ActivePairs:  res.Sim.ActivePairs,
+			SimTime:      res.Sim.Time(),
+			EnergyJoules: core.PriceSim(m, res.Sim).Total(),
+			MaxFlops:     mx.Flops,
+			MaxWordsSent: mx.WordsSent,
+			MaxMsgsSent:  mx.MsgsSent,
+			MaxMemWords:  mx.PeakMemWords,
+		}
+		return rec, res
+	}
+
+	for _, al := range algos {
+		for _, pt := range points {
+			sparseRec, sparseRes := measure(al, pt, sim.WiringSparse)
+			rep.Runs = append(rep.Runs, sparseRec)
+			fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
+				al.name, sparseRec.P, sparseRec.Wiring, sparseRec.WallSeconds,
+				sparseRec.ActivePairs, sparseRec.SimTime, sparseRec.EnergyJoules)
+			if !pt.denseToo {
+				continue
+			}
+			denseRec, denseRes := measure(al, pt, sim.WiringDense)
+			rep.Runs = append(rep.Runs, denseRec)
+			fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
+				al.name, denseRec.P, denseRec.Wiring, denseRec.WallSeconds,
+				denseRec.ActivePairs, denseRec.SimTime, denseRec.EnergyJoules)
+
+			identical := denseRes.C.MaxAbsDiff(sparseRes.C) == 0
+			for id := range denseRes.Sim.PerRank {
+				if denseRes.Sim.PerRank[id] != sparseRes.Sim.PerRank[id] {
+					identical = false
+					break
+				}
+			}
+			rep.Comparisons = append(rep.Comparisons, comparison{
+				Algorithm: al.name, P: sparseRec.P,
+				BitIdentical: identical,
+				DenseWallS:   denseRec.WallSeconds,
+				SparseWallS:  sparseRec.WallSeconds,
+				DensePairs:   denseRec.ActivePairs,
+				SparsePairs:  sparseRec.ActivePairs,
+			})
+			if !identical {
+				fmt.Fprintf(os.Stderr, "%s p=%d: dense and sparse results DIVERGED\n", al.name, sparseRec.P)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *big {
+		// The scale demonstration: p = 16384 under sparse wiring only.
+		// Dense wiring would allocate p² = 268M queues (hundreds of GB of
+		// channel buffers) before the first simulated flop.
+		al := algos[0]
+		rec, _ := measure(al, bigPoint, sim.WiringSparse)
+		rep.Runs = append(rep.Runs, rec)
+		fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
+			al.name, rec.P, rec.Wiring, rec.WallSeconds,
+			rec.ActivePairs, rec.SimTime, rec.EnergyJoules)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d runs, %d comparisons)\n", *out, len(rep.Runs), len(rep.Comparisons))
+}

@@ -1,0 +1,41 @@
+package matmul
+
+import (
+	"testing"
+
+	"perfscale/internal/sim"
+)
+
+// TestTwoPointFiveDWiringBitIdentical pins the sparse-wiring acceptance
+// criterion on a real algorithm: a p=256 2.5D multiplication produces a
+// bit-identical product matrix and bit-identical per-rank counters and
+// clocks under dense and sparse wiring.
+func TestTwoPointFiveDWiringBitIdentical(t *testing.T) {
+	const n, q, c = 32, 8, 4 // p = q²·c = 256
+	a, b := randPair(n, 42)
+	cost := sim.Cost{GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6, MaxMsgWords: 16, ChargeReceiver: true}
+
+	runWith := func(w sim.Wiring) *RunResult {
+		cw := cost
+		cw.Wiring = w
+		res, err := TwoPointFiveD(cw, q, c, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		return res
+	}
+	dense, sparse := runWith(sim.WiringDense), runWith(sim.WiringSparse)
+
+	if d := dense.C.MaxAbsDiff(sparse.C); d != 0 {
+		t.Errorf("product matrices differ between wirings: max diff %g", d)
+	}
+	for id := range dense.Sim.PerRank {
+		if dense.Sim.PerRank[id] != sparse.Sim.PerRank[id] {
+			t.Errorf("rank %d stats differ:\ndense:  %+v\nsparse: %+v",
+				id, dense.Sim.PerRank[id], sparse.Sim.PerRank[id])
+		}
+	}
+	if dense.Sim.Time() != sparse.Sim.Time() {
+		t.Errorf("virtual time differs: dense %g sparse %g", dense.Sim.Time(), sparse.Sim.Time())
+	}
+}

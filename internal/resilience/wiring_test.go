@@ -1,0 +1,75 @@
+package resilience_test
+
+import (
+	"testing"
+
+	"perfscale/internal/resilience"
+	"perfscale/internal/sim"
+)
+
+// TestRecoveryProtocolsWiringBitIdentical pins that the sparse wiring
+// changes nothing for the recovery protocols either: an ABFT run that
+// survives a mid-flight crash, and a checkpointed stencil that rolls back,
+// both produce bit-identical outputs and per-rank accounting under dense
+// and sparse wiring.
+func TestRecoveryProtocolsWiringBitIdentical(t *testing.T) {
+	assertSame := func(name string, dense, sparse *sim.Result) {
+		t.Helper()
+		for id := range dense.PerRank {
+			if dense.PerRank[id] != sparse.PerRank[id] {
+				t.Errorf("%s rank %d stats differ:\ndense:  %+v\nsparse: %+v",
+					name, id, dense.PerRank[id], sparse.PerRank[id])
+			}
+		}
+	}
+
+	a, b := abftOperands(16)
+	abftCost := testCost()
+	abftCost.Faults = &sim.FaultPlan{
+		Seed:       5,
+		Crashes:    map[int]float64{4*4 + 5: 1e-4}, // a layer-1 rank, mid-run
+		Respawn:    true,
+		RebootTime: 1e-5,
+	}
+	runABFT := func(w sim.Wiring) *resilience.Result {
+		cost := abftCost
+		cost.Wiring = w
+		res, err := resilience.ABFT25D(cost, 4, 2, a, b)
+		if err != nil {
+			t.Fatalf("ABFT/%v: %v", w, err)
+		}
+		return res
+	}
+	ad, as := runABFT(sim.WiringDense), runABFT(sim.WiringSparse)
+	if d := ad.C.MaxAbsDiff(as.C); d != 0 {
+		t.Errorf("ABFT products differ between wirings: max diff %g", d)
+	}
+	assertSame("ABFT", ad.Sim, as.Sim)
+
+	ckptCost := testCost()
+	ckptCost.Faults = &sim.FaultPlan{
+		Seed:       3,
+		Crashes:    map[int]float64{2: 1e-5},
+		Respawn:    true,
+		RebootTime: 1e-5,
+	}
+	runCkpt := func(w sim.Wiring) *resilience.CheckpointResult {
+		cost := ckptCost
+		cost.Wiring = w
+		res, err := resilience.RunCheckpointed(cost, 4, 12, 3, stencilInit, stencilStep)
+		if err != nil {
+			t.Fatalf("checkpoint/%v: %v", w, err)
+		}
+		return res
+	}
+	cd, cs := runCkpt(sim.WiringDense), runCkpt(sim.WiringSparse)
+	for id := range cd.States {
+		for i := range cd.States[id] {
+			if cd.States[id][i] != cs.States[id][i] {
+				t.Errorf("checkpoint state rank %d word %d differs: dense %g sparse %g",
+					id, i, cd.States[id][i], cs.States[id][i])
+			}
+		}
+	}
+	assertSame("checkpoint", cd.Sim, cs.Sim)
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wiringExchange is the benchmark program: one ring step plus a full
+// hypercube exchange, all direct point-to-point (no World(), whose per-rank
+// members slice would itself cost O(p²) across the cluster and drown the
+// wiring signal).
+func wiringExchange(p, k int) func(*Rank) error {
+	return func(r *Rank) error {
+		data := make([]float64, k)
+		next := (r.ID() + 1) % p
+		prev := (r.ID() - 1 + p) % p
+		data = r.SendRecv(next, data, prev)
+		for bit := 1; bit < p; bit <<= 1 {
+			data = r.SendRecv(r.ID()^bit, data, r.ID()^bit)
+		}
+		return nil
+	}
+}
+
+// BenchmarkWiring compares dense and sparse wiring at increasing p on the
+// same exchange pattern. The interesting columns are B/op and the pairs
+// metric: dense allocates p² queues up front, sparse only the
+// (1+log₂p)·p pairs the pattern touches. CI runs this once per mode in
+// short mode as a smoke test (-bench Wiring -benchtime 1x).
+func BenchmarkWiring(b *testing.B) {
+	for _, wiring := range []Wiring{WiringSparse, WiringDense} {
+		for _, p := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%v/p=%d", wiring, p), func(b *testing.B) {
+				if wiring == WiringDense && p >= 4096 && testing.Short() {
+					b.Skip("dense 4096² queue matrix: skipped in -short")
+				}
+				cost := Cost{AlphaT: 1e-6, BetaT: 1e-9, ChanCap: 4, Wiring: wiring}
+				b.ReportAllocs()
+				var pairs int
+				for i := 0; i < b.N; i++ {
+					c, err := NewCluster(p, cost)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.Run(wiringExchange(p, 16)); err != nil {
+						b.Fatal(err)
+					}
+					pairs = c.ActivePairs()
+				}
+				b.ReportMetric(float64(pairs), "pairs")
+			})
+		}
+	}
+}

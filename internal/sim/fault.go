@@ -3,9 +3,10 @@ package sim
 import "fmt"
 
 // FaultPlan schedules deterministic failures for a run. Every decision is
-// keyed only on (rank, virtual clock, per-rank send count) hashed with Seed,
-// never on wall-clock time or Go scheduling, so a plan reproduces the exact
-// same faults — and therefore byte-identical Stats — on every run.
+// keyed only on (rank, virtual clock, per-rank send count, delivery copy
+// index) hashed with Seed, never on wall-clock time or Go scheduling, so a
+// plan reproduces the exact same faults — and therefore byte-identical
+// Stats — on every run.
 //
 // Three fault classes are supported:
 //
@@ -152,16 +153,31 @@ func (fp *FaultPlan) hash01(src, dst, seq int, salt uint64) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
-// Distinct salts keep the drop/dup/corrupt/index dice independent.
+// Distinct salts keep the drop/dup/corrupt/index dice independent. The
+// corruption dice exist once per delivered copy — a duplicated message's
+// extra copy rolls its own corruption fate and index, keyed on the copy
+// index via the dup-specific salts, so one send can deliver one clean and
+// one corrupted copy. Determinism is preserved: every decision remains a
+// pure function of (seed, src, dst, seq, copy).
 const (
 	saltDrop uint64 = iota + 1
 	saltDup
 	saltCorrupt
 	saltCorruptIndex
+	saltDupCorrupt
+	saltDupCorruptIndex
 )
 
-// messageFate rolls the deterministic dice for one send.
-func (fp *FaultPlan) messageFate(src, dst, seq int, clock float64) (drop, dup, corrupt bool) {
+// Copy indices of the deliveries a single Send can make.
+const (
+	copyPrimary = 0
+	copyDup     = 1
+)
+
+// messageFate rolls the deterministic dice for one send. corrupt is the
+// primary copy's corruption fate; dupCorrupt is the independent fate of the
+// duplicated copy (meaningful only when dup is set).
+func (fp *FaultPlan) messageFate(src, dst, seq int, clock float64) (drop, dup, corrupt, dupCorrupt bool) {
 	for _, l := range fp.Links {
 		if !faultMatches(l.Src, l.Dst, l.From, l.Until, src, dst, clock) {
 			continue
@@ -172,16 +188,25 @@ func (fp *FaultPlan) messageFate(src, dst, seq int, clock float64) (drop, dup, c
 		if l.DupProb > 0 && fp.hash01(src, dst, seq, saltDup) < l.DupProb {
 			dup = true
 		}
-		if l.CorruptProb > 0 && fp.hash01(src, dst, seq, saltCorrupt) < l.CorruptProb {
-			corrupt = true
+		if l.CorruptProb > 0 {
+			if fp.hash01(src, dst, seq, saltCorrupt) < l.CorruptProb {
+				corrupt = true
+			}
+			if fp.hash01(src, dst, seq, saltDupCorrupt) < l.CorruptProb {
+				dupCorrupt = true
+			}
 		}
 	}
-	return drop, dup, corrupt
+	return drop, dup, corrupt, dupCorrupt
 }
 
-// corruptIndex picks the payload word to perturb.
-func (fp *FaultPlan) corruptIndex(src, dst, seq, n int) int {
-	return int(fp.hash01(src, dst, seq, saltCorruptIndex) * float64(n))
+// corruptIndex picks the payload word to perturb for the given copy.
+func (fp *FaultPlan) corruptIndex(src, dst, seq, copy, n int) int {
+	salt := saltCorruptIndex
+	if copy == copyDup {
+		salt = saltDupCorruptIndex
+	}
+	return int(fp.hash01(src, dst, seq, salt) * float64(n))
 }
 
 // degradeFactors returns the combined α/β inflation for a send.

@@ -158,6 +158,117 @@ func TestCorruptionIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestDuplicateRollsIndependentCorruptionFate pins the per-copy fault fix:
+// a duplicated message's extra copy rolls its own corruption dice and index
+// (keyed on the copy index), instead of inheriting the primary's fate.
+func TestDuplicateRollsIndependentCorruptionFate(t *testing.T) {
+	const k = 64
+	// recvPair runs a 1-duplicated send of k zero words and returns the two
+	// delivered copies (the injected duplicate arrives first, then the
+	// primary) as corruption counts.
+	recvPair := func(seed uint64, corruptProb float64) (dupDiffs, primDiffs int) {
+		cost := zeroCost
+		cost.Faults = &FaultPlan{
+			Seed:  seed,
+			Links: []LinkFault{{Src: 0, Dst: 1, DupProb: 1, CorruptProb: corruptProb}},
+		}
+		var dupCopy, primCopy []float64
+		_, err := Run(2, cost, func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, make([]float64, k))
+				return nil
+			}
+			dupCopy = r.Recv(0)
+			primCopy = r.Recv(0)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := func(data []float64) int {
+			n := 0
+			for i, v := range data {
+				if v != 0 {
+					n++
+					if v != 1 {
+						t.Errorf("word %d perturbed by %g, want +1", i, v)
+					}
+				}
+			}
+			return n
+		}
+		return count(dupCopy), count(primCopy)
+	}
+
+	// CorruptProb 1: both copies corrupted, each in exactly one word, at
+	// independently hashed indices. With k=64 words, scanning a few seeds
+	// must find one where the two indices differ.
+	sawDistinctIndex := false
+	for seed := uint64(0); seed < 8; seed++ {
+		cost := zeroCost
+		cost.Faults = &FaultPlan{
+			Seed:  seed,
+			Links: []LinkFault{{Src: 0, Dst: 1, DupProb: 1, CorruptProb: 1}},
+		}
+		var dupCopy, primCopy []float64
+		_, err := Run(2, cost, func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, make([]float64, k))
+				return nil
+			}
+			dupCopy = r.Recv(0)
+			primCopy = r.Recv(0)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dupIdx, primIdx := -1, -1
+		for i := range dupCopy {
+			if dupCopy[i] != 0 {
+				if dupIdx != -1 {
+					t.Fatalf("seed %d: duplicate corrupted in more than one word: %v", seed, dupCopy)
+				}
+				dupIdx = i
+			}
+			if primCopy[i] != 0 {
+				if primIdx != -1 {
+					t.Fatalf("seed %d: primary corrupted in more than one word: %v", seed, primCopy)
+				}
+				primIdx = i
+			}
+		}
+		if dupIdx == -1 || primIdx == -1 {
+			t.Fatalf("seed %d: CorruptProb 1 must corrupt both copies (dup word %d, primary word %d)",
+				seed, dupIdx, primIdx)
+		}
+		if dupIdx != primIdx {
+			sawDistinctIndex = true
+		}
+	}
+	if !sawDistinctIndex {
+		t.Error("duplicate never picked a different corruption index than the primary across 8 seeds")
+	}
+
+	// CorruptProb 0.5: the copies' fates are independent coin flips, so a
+	// seed scan must find both mixed outcomes — clean duplicate with a
+	// corrupted primary, and the reverse.
+	sawCleanDupCorruptPrim, sawCorruptDupCleanPrim := false, false
+	for seed := uint64(0); seed < 200 && !(sawCleanDupCorruptPrim && sawCorruptDupCleanPrim); seed++ {
+		dupDiffs, primDiffs := recvPair(seed, 0.5)
+		if dupDiffs == 0 && primDiffs == 1 {
+			sawCleanDupCorruptPrim = true
+		}
+		if dupDiffs == 1 && primDiffs == 0 {
+			sawCorruptDupCleanPrim = true
+		}
+	}
+	if !sawCleanDupCorruptPrim || !sawCorruptDupCleanPrim {
+		t.Errorf("copies' corruption fates are not independent: clean-dup/corrupt-primary seen %v, corrupt-dup/clean-primary seen %v",
+			sawCleanDupCorruptPrim, sawCorruptDupCleanPrim)
+	}
+}
+
 func TestDegradedLinkWindowInflatesSendCost(t *testing.T) {
 	cost := Cost{AlphaT: 1, BetaT: 1}
 	cost.Faults = &FaultPlan{

@@ -1,0 +1,124 @@
+package sim
+
+import "sync"
+
+// Wiring is how the cluster is scaled to its rank count. The runtime used to
+// allocate a dense p×p matrix of buffered channels up front, which caps a
+// run at modest p: p = 4096 wires ~16.7M channels (tens of GB of buffer
+// space) before the first flop, and p = 16384 is out of reach entirely. The
+// algorithms in this repository touch only O(log p) distinct peers per rank
+// (grid neighbours, tree parents/children, fiber partners), so almost all of
+// that matrix is dead weight.
+//
+// Sparse wiring — the default — creates a pair's queue on first use instead:
+// each rank owns a mailbox, a small mutex-protected map from sender id to
+// the pair's FIFO queue, and both endpoints get-or-create the queue on their
+// first Send/Recv across the pair. Memory then scales with the number of
+// *active* communication pairs, O(p·log p) for the 2.5D/CAPS/FFT patterns
+// here, instead of p².
+//
+// Dense wiring is kept selectable for the wiring benchmarks
+// (BenchmarkWiring, cmd/bench) that measure exactly this difference.
+//
+// The wiring mode is invisible to the simulation's semantics: virtual
+// clocks, counters and fault decisions depend only on the program's
+// communication pattern and the arrival stamps carried inside messages,
+// never on how the underlying queues were allocated, so a run's Result is
+// bit-identical under either mode (pinned by TestDenseSparseIdentical*).
+type Wiring int
+
+const (
+	// WiringSparse creates per-pair queues on demand (the default).
+	WiringSparse Wiring = iota
+	// WiringDense pre-allocates the full p×p queue matrix up front, the
+	// historical layout, kept for memory/startup comparisons.
+	WiringDense
+)
+
+// String names the wiring mode for benchmark labels and reports.
+func (w Wiring) String() string {
+	if w == WiringDense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// mailbox holds one rank's incoming per-pair queues, keyed by sender id.
+// Senders and receivers get-or-create a pair's queue under the mutex on
+// first contact; after that, both sides use their rank-local cached handle
+// and the lock is never touched again for the pair.
+type mailbox struct {
+	mu     sync.Mutex
+	queues map[int]chan message
+}
+
+// queue returns the FIFO queue for the ordered pair src→dst, creating it on
+// first use under sparse wiring.
+func (c *Cluster) queue(src, dst int) chan message {
+	if c.dense != nil {
+		return c.dense[src][dst]
+	}
+	mb := &c.mail[dst]
+	mb.mu.Lock()
+	ch, ok := mb.queues[src]
+	if !ok {
+		if mb.queues == nil {
+			mb.queues = make(map[int]chan message, 8)
+		}
+		ch = make(chan message, c.bufCap)
+		mb.queues[src] = ch
+	}
+	mb.mu.Unlock()
+	return ch
+}
+
+// queueTo returns the rank's outgoing queue towards dst, memoizing the
+// lookup so the mailbox lock is taken at most once per peer.
+func (r *Rank) queueTo(dst int) chan message {
+	if r.cluster.dense != nil {
+		return r.cluster.dense[r.id][dst]
+	}
+	if ch, ok := r.out[dst]; ok {
+		return ch
+	}
+	if r.out == nil {
+		r.out = make(map[int]chan message, 8)
+	}
+	ch := r.cluster.queue(r.id, dst)
+	r.out[dst] = ch
+	return ch
+}
+
+// queueFrom returns the rank's incoming queue from src, memoized like
+// queueTo.
+func (r *Rank) queueFrom(src int) chan message {
+	if r.cluster.dense != nil {
+		return r.cluster.dense[src][r.id]
+	}
+	if ch, ok := r.in[src]; ok {
+		return ch
+	}
+	if r.in == nil {
+		r.in = make(map[int]chan message, 8)
+	}
+	ch := r.cluster.queue(src, r.id)
+	r.in[src] = ch
+	return ch
+}
+
+// ActivePairs reports how many ordered communication pairs were actually
+// wired during the run — the quantity sparse wiring's memory scales with
+// (p² under dense wiring, by construction). Call it after Run returns.
+func (c *Cluster) ActivePairs() int {
+	if c.dense != nil {
+		return c.p * c.p
+	}
+	n := 0
+	for i := range c.mail {
+		mb := &c.mail[i]
+		mb.mu.Lock()
+		n += len(mb.queues)
+		mb.mu.Unlock()
+	}
+	return n
+}

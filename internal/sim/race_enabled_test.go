@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; the very
+// large cluster tests skip under it (the detector caps a process at 8192
+// simultaneously alive goroutines).
+const raceEnabled = true

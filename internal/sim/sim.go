@@ -2,8 +2,9 @@
 // runtime: the machine substrate on which the paper's algorithms execute.
 //
 // Each of p ranks runs as a goroutine executing the same SPMD function.
-// Ranks exchange []float64 messages over per-pair FIFO channels. Every rank
-// carries a virtual clock in seconds:
+// Ranks exchange []float64 messages over per-pair FIFO queues, wired on
+// demand as pairs first communicate (see mailbox.go) so clusters of 10k+
+// ranks stay cheap to create. Every rank carries a virtual clock in seconds:
 //
 //   - computing f flops advances the clock by γt·f,
 //   - sending k words advances the sender's clock by αt·⌈k/m⌉ + βt·k
@@ -69,6 +70,11 @@ type Cost struct {
 	// ChanCap overrides DefaultChanCap, the per-pair channel buffer in
 	// messages. Zero means the default; negative values are rejected.
 	ChanCap int
+	// Wiring selects how per-pair queues are allocated: sparse on-demand
+	// mailboxes (the default, memory ∝ active pairs) or the dense p×p
+	// matrix (memory ∝ p², kept for comparison benchmarks). The mode never
+	// affects clocks or counters — see mailbox.go.
+	Wiring Wiring
 	// Faults optionally injects deterministic failures (crashes, message
 	// drops/duplications/corruptions, degraded links); nil runs fault-free.
 	Faults *FaultPlan
@@ -97,7 +103,9 @@ type Stats struct {
 	WordsSent float64
 	MsgsSent  float64
 	// WordsRecv and MsgsRecv count the receiving side (the bounds of
-	// Section III count words "sent and received").
+	// Section III count words "sent and received"). MsgsRecv counts the
+	// same ⌈k/m⌉ network messages per transfer as MsgsSent, so the two
+	// sides of every pair agree for any MaxMsgWords.
 	WordsRecv float64
 	MsgsRecv  float64
 	// PeakMemWords is the high-water mark of tracked allocations, the M of
@@ -119,6 +127,12 @@ type Stats struct {
 type message struct {
 	data    []float64
 	arrival float64 // sender's virtual clock when the message left
+	// alphaF and betaF are the degraded-link factors the sender applied
+	// (1 when no degradation window matched). Carrying them with the
+	// message lets a ChargeReceiver receive price the link with exactly
+	// the factors the send paid, keeping both ends of one transfer
+	// consistent even when the receiver's clock has left the window.
+	alphaF, betaF float64
 }
 
 // exitStatus records how a rank left the run, so a peer's failed Recv can
@@ -139,32 +153,41 @@ type exitInfo struct {
 	err    error
 }
 
-// Cluster is a set of p ranks wired with per-pair FIFO channels.
+// Cluster is a set of p ranks wired with per-pair FIFO queues, created on
+// demand (sparse wiring, the default) or all up front (dense wiring); see
+// mailbox.go.
 type Cluster struct {
 	p      int
 	cost   Cost
-	chans  [][]chan message // chans[src][dst]
+	bufCap int
+	mail   []mailbox        // sparse wiring: mail[dst].queues[src]
+	dense  [][]chan message // dense wiring: dense[src][dst]; nil when sparse
 	tracer *tracer
 
 	// states holds the packed per-rank blocking state the watchdog
 	// samples (see watchdog.go); aborts/abortErr release blocked ranks
 	// with a diagnostic; exits records each rank's exit status, written
-	// before its channels close (the close happens-before a peer's
-	// failed receive, so reads after !ok are race-free).
+	// before its exitCh closes (the close happens-before a peer's failed
+	// receive, so reads after the exit notification are race-free).
 	states   []atomic.Uint64
 	aborts   []chan struct{}
 	abortErr []*DeadlockError
 	exits    []exitInfo
+	// exitCh[id] is closed when rank id exits, releasing peers blocked in
+	// Recv on it. Messages the rank sent before exiting are still queued
+	// and are drained before a receive is declared failed.
+	exitCh []chan struct{}
 }
 
-// DefaultChanCap is the per-pair channel buffer (override per run with
-// Cost.ChanCap). Senders block (in real time, not virtual time) when a
+// DefaultChanCap is the per-pair queue buffer in messages (override per run
+// with Cost.ChanCap). Senders block (in real time, not virtual time) when a
 // pair's buffer fills; virtual clocks are unaffected, and a send that can
 // never complete — the receiver already exited, or the cluster is
 // deadlocked — is aborted by the watchdog with a diagnostic error. The
 // value is a compromise: large enough that no algorithm in this repository
 // queues that many unreceived messages on one pair, small enough that a
-// p-rank cluster's p² channels stay cheap to allocate.
+// queue (whose buffer a Go channel allocates eagerly) stays cheap to wire —
+// large-p runs that create many pairs can lower it further.
 const DefaultChanCap = 64
 
 // NewCluster creates a cluster of p ranks with the given timing costs.
@@ -178,6 +201,9 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	if cost.ChanCap < 0 {
 		return nil, fmt.Errorf("sim: negative channel capacity %d", cost.ChanCap)
 	}
+	if cost.Wiring != WiringSparse && cost.Wiring != WiringDense {
+		return nil, fmt.Errorf("sim: unknown wiring mode %d", cost.Wiring)
+	}
 	if cost.Faults != nil {
 		if err := cost.Faults.Validate(p); err != nil {
 			return nil, err
@@ -187,23 +213,29 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	if cost.Trace {
 		c.tracer = &tracer{segments: make([][]Segment, p)}
 	}
-	bufCap := cost.ChanCap
-	if bufCap == 0 {
-		bufCap = DefaultChanCap
+	c.bufCap = cost.ChanCap
+	if c.bufCap == 0 {
+		c.bufCap = DefaultChanCap
 	}
-	c.chans = make([][]chan message, p)
-	for src := 0; src < p; src++ {
-		c.chans[src] = make([]chan message, p)
-		for dst := 0; dst < p; dst++ {
-			c.chans[src][dst] = make(chan message, bufCap)
+	if cost.Wiring == WiringDense {
+		c.dense = make([][]chan message, p)
+		for src := 0; src < p; src++ {
+			c.dense[src] = make([]chan message, p)
+			for dst := 0; dst < p; dst++ {
+				c.dense[src][dst] = make(chan message, c.bufCap)
+			}
 		}
+	} else {
+		c.mail = make([]mailbox, p)
 	}
 	c.states = make([]atomic.Uint64, p)
 	c.aborts = make([]chan struct{}, p)
 	c.abortErr = make([]*DeadlockError, p)
 	c.exits = make([]exitInfo, p)
+	c.exitCh = make([]chan struct{}, p)
 	for i := range c.aborts {
 		c.aborts[i] = make(chan struct{})
+		c.exitCh[i] = make(chan struct{})
 	}
 	return c, nil
 }
@@ -220,6 +252,11 @@ type Rank struct {
 	clock   float64
 	stats   Stats
 	curMem  float64
+
+	// out and in memoize this rank's per-peer queue handles under sparse
+	// wiring (see mailbox.go); only this goroutine touches them.
+	out map[int]chan message
+	in  map[int]chan message
 
 	// stateSeq shadows the watchdog state word's sequence counter (only
 	// this goroutine writes it); sendCount keys fault-plan decisions;
@@ -285,9 +322,10 @@ func (r *Rank) Send(dst int, data []float64) {
 	r.stats.WordsSent += float64(k)
 	r.stats.MsgsSent += msgs
 	alpha, beta := r.cluster.cost.linkParams(r.id, dst)
+	af, bf := 1.0, 1.0
 	fp := r.cluster.cost.Faults
 	if fp != nil {
-		af, bf := fp.degradeFactors(r.id, dst, r.clock)
+		af, bf = fp.degradeFactors(r.id, dst, r.clock)
 		alpha *= af
 		beta *= bf
 	}
@@ -300,27 +338,36 @@ func (r *Rank) Send(dst int, data []float64) {
 	seq := r.sendCount
 	r.sendCount++
 	if fp != nil {
-		drop, dup, corrupt := fp.messageFate(r.id, dst, seq, r.clock)
+		drop, dup, corrupt, dupCorrupt := fp.messageFate(r.id, dst, seq, r.clock)
+		// The duplicate is its own copy of the clean payload with an
+		// independent corruption fate (keyed on the copy index), so a
+		// corrupt+dup send can deliver one clean and one corrupted copy.
+		var extra []float64
+		if dup {
+			extra = make([]float64, k)
+			copy(extra, data)
+			if dupCorrupt && k > 0 {
+				extra[fp.corruptIndex(r.id, dst, seq, copyDup, k)] += 1.0
+			}
+		}
 		if corrupt && k > 0 {
-			cp[fp.corruptIndex(r.id, dst, seq, k)] += 1.0
+			cp[fp.corruptIndex(r.id, dst, seq, copyPrimary, k)] += 1.0
 		}
 		if drop {
 			return // the sender has paid; the network loses the message
 		}
 		if dup {
-			extra := make([]float64, k)
-			copy(extra, cp)
-			r.deliver(dst, message{data: extra, arrival: r.clock})
+			r.deliver(dst, message{data: extra, arrival: r.clock, alphaF: af, betaF: bf})
 		}
 	}
-	r.deliver(dst, message{data: cp, arrival: r.clock})
+	r.deliver(dst, message{data: cp, arrival: r.clock, alphaF: af, betaF: bf})
 }
 
-// deliver enqueues a message on the pair's channel. The fast path never
+// deliver enqueues a message on the pair's queue. The fast path never
 // blocks; when the buffer is full the wait is published to the watchdog,
 // which aborts the send if it can never complete (deadlock or exited peer).
 func (r *Rank) deliver(dst int, m message) {
-	ch := r.cluster.chans[r.id][dst]
+	ch := r.queueTo(dst)
 	select {
 	case ch <- m:
 		return
@@ -342,24 +389,35 @@ func (r *Rank) Recv(src int) []float64 {
 		panic(fmt.Sprintf("sim: rank %d receiving from invalid rank %d", r.id, src))
 	}
 	r.crashCheck()
-	ch := r.cluster.chans[src][r.id]
+	ch := r.queueFrom(src)
 	var msg message
-	var ok bool
+	ok := true
 	select {
-	case msg, ok = <-ch:
+	case msg = <-ch:
 	default:
 		// Nothing buffered: publish the wait so the watchdog can see it.
 		r.setState(opBlockedRecv, src)
 		select {
-		case msg, ok = <-ch:
+		case msg = <-ch:
 			r.setState(opRunning, 0)
+		case <-r.cluster.exitCh[src]:
+			// The peer exited. Everything it ever sent was enqueued
+			// before its exit notification, so drain the queue once
+			// more before declaring the receive failed.
+			select {
+			case msg = <-ch:
+				r.setState(opRunning, 0)
+			default:
+				ok = false
+			}
 		case <-r.cluster.aborts[r.id]:
 			panic(abortPanic{err: r.cluster.abortErr[r.id]})
 		}
 	}
 	if !ok {
-		// The channel close happens-before this receive, so the peer's
-		// exit record is safe to read; name the root cause.
+		// The exit-channel close happens-before this receive observing
+		// it, so the peer's exit record is safe to read; name the root
+		// cause.
 		switch ei := r.cluster.exits[src]; ei.status {
 		case exitClean:
 			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which exited without sending (clean exit; mismatched communication pattern?)", r.id, src))
@@ -374,15 +432,24 @@ func (r *Rank) Recv(src int) []float64 {
 		r.record(Segment{Kind: SegWait, Start: r.clock, End: msg.arrival, Peer: src, Words: len(msg.data)})
 		r.clock = msg.arrival
 	}
+	msgs := r.cluster.messagesFor(len(msg.data))
 	if r.cluster.cost.ChargeReceiver {
+		// Price the receive with the same per-link parameters and
+		// degraded-window factors the send paid (carried in the
+		// message), so both ends of one transfer always agree.
 		alpha, beta := r.cluster.cost.linkParams(src, r.id)
-		dt := alpha*r.cluster.messagesFor(len(msg.data)) + beta*float64(len(msg.data))
+		alpha *= msg.alphaF
+		beta *= msg.betaF
+		dt := alpha*msgs + beta*float64(len(msg.data))
 		r.stats.RecvTime += dt
 		r.record(Segment{Kind: SegRecv, Start: r.clock, End: r.clock + dt, Peer: src, Words: len(msg.data)})
 		r.clock += dt
 	}
+	// The receive side counts the same ⌈k/m⌉ network messages the send
+	// side was charged, so the per-pair sent/received counters agree for
+	// every MaxMsgWords.
 	r.stats.WordsRecv += float64(len(msg.data))
-	r.stats.MsgsRecv++
+	r.stats.MsgsRecv += msgs
 	return msg.data
 }
 
@@ -430,6 +497,11 @@ func (r *Rank) TrackedVec(n int) []float64 {
 type Result struct {
 	// PerRank has one Stats per rank, indexed by rank id.
 	PerRank []Stats
+	// ActivePairs is the number of directed rank pairs that were wired:
+	// the pairs actually communicated over under sparse wiring, p² under
+	// dense. It is a runtime-footprint metric, not part of the simulated
+	// machine model.
+	ActivePairs int
 	// Trace carries the per-rank timelines when Cost.Trace was set.
 	Trace *Trace
 }
@@ -538,21 +610,20 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 				}
 				res.PerRank[id] = r.Stats()
 				// Record how this rank left (read by peers after they
-				// observe the channel close) and tell the watchdog it is
-				// gone, then close the outgoing channels: a peer's
+				// observe the exit notification) and tell the watchdog
+				// it is gone, then close the exit channel: a peer's
 				// unmatched Recv becomes a clean error instead of a
-				// deadlock; already-buffered messages are delivered first.
+				// deadlock; already-queued messages are delivered first.
 				c.exits[id] = exitInfo{status: status, err: errs[id]}
 				r.setState(opExited, 0)
-				for dst := 0; dst < c.p; dst++ {
-					close(c.chans[id][dst])
-				}
+				close(c.exitCh[id])
 			}()
 			errs[id] = fn(r)
 		}(id)
 	}
 	wg.Wait()
 	close(stop)
+	res.ActivePairs = c.ActivePairs()
 	// Join every rank's error: a single failure usually cascades into
 	// "peer exited" panics on other ranks, and the root cause must not be
 	// masked by whichever rank id happens to come first.

@@ -163,6 +163,9 @@ func TestMaxMessageSplitting(t *testing.T) {
 	if got := res.PerRank[0].MsgsSent; got != 3 {
 		t.Errorf("25 words with m=10 should cost 3 messages, got %g", got)
 	}
+	if got := res.PerRank[1].MsgsRecv; got != 3 {
+		t.Errorf("receiver must count the same 3 network messages, got %g", got)
+	}
 	if got := res.PerRank[0].Time; got != 3*100+25 {
 		t.Errorf("send time: got %g want 325", got)
 	}
