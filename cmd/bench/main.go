@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"perfscale/internal/machine"
 	"perfscale/internal/matmul"
 	"perfscale/internal/matrix"
+	"perfscale/internal/obs"
 	"perfscale/internal/sim"
 )
 
@@ -64,11 +66,26 @@ type comparison struct {
 	SparsePairs  int     `json:"sparse_active_pairs"`
 }
 
+// traceOverhead records the wall-clock cost of observing a run through the
+// bounded ring-buffer subscriber relative to running it blind. Wall fields
+// are each side's best; OverheadFrac is the median of interleaved paired
+// ratios, which is robust to host-speed drift between runs.
+type traceOverhead struct {
+	Algorithm     string  `json:"algorithm"`
+	P             int     `json:"p"`
+	RingCapacity  int     `json:"ring_capacity"`
+	EventsSeen    uint64  `json:"events_seen"`
+	PlainWallS    float64 `json:"plain_wall_seconds"`
+	ObservedWallS float64 `json:"observed_wall_seconds"`
+	OverheadFrac  float64 `json:"overhead_frac"`
+}
+
 type report struct {
-	Machine     string       `json:"machine"`
-	N           int          `json:"n"`
-	Runs        []runRecord  `json:"runs"`
-	Comparisons []comparison `json:"dense_vs_sparse"`
+	Machine       string         `json:"machine"`
+	N             int            `json:"n"`
+	Runs          []runRecord    `json:"runs"`
+	Comparisons   []comparison   `json:"dense_vs_sparse"`
+	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
 }
 
 // vmHWM reads the process's peak resident set (kB) from /proc/self/status;
@@ -215,6 +232,60 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	// Observation cost: the same p = 1024 point blind vs subscribed to the
+	// bounded ring buffer (the configuration recommended for large runs).
+	// Host speed drifts between runs (shared boxes, frequency scaling), so
+	// timing a plain block and then an observed block confounds drift with
+	// the effect. Instead: interleave plain/observed pairs and take the
+	// median of the paired ratios — adjacent runs see the same box, so the
+	// drift cancels; the median shrugs off GC outliers.
+	{
+		al := algos[0]
+		pt := point{q: 32, c: 1}
+		const ringCap = 4096
+		const pairs = 7
+		var ring *obs.RingBuffer
+		runOnce := func(withRing bool) float64 {
+			c := cost
+			if withRing {
+				ring = obs.NewRingBuffer(ringCap)
+				c.Observers = []sim.Observer{ring}
+			}
+			start := time.Now()
+			if _, err := al.run(c, pt.q, pt.c, a, b); err != nil {
+				fmt.Fprintf(os.Stderr, "trace overhead %s q=%d: %v\n", al.name, pt.q, err)
+				os.Exit(1)
+			}
+			return time.Since(start).Seconds()
+		}
+		runOnce(false) // warm both code paths before timing
+		runOnce(true)
+		ratios := make([]float64, 0, pairs)
+		plain, observed := 0.0, 0.0
+		for i := 0; i < pairs; i++ {
+			pw := runOnce(false)
+			ow := runOnce(true)
+			ratios = append(ratios, ow/pw)
+			if i == 0 || pw < plain {
+				plain = pw
+			}
+			if i == 0 || ow < observed {
+				observed = ow
+			}
+		}
+		sort.Float64s(ratios)
+		rep.TraceOverhead = &traceOverhead{
+			Algorithm: al.name, P: pt.q * pt.q * pt.c,
+			RingCapacity:  ringCap,
+			EventsSeen:    ring.Total(),
+			PlainWallS:    plain,
+			ObservedWallS: observed,
+			OverheadFrac:  ratios[len(ratios)/2] - 1,
+		}
+		fmt.Printf("trace overhead p=%d: plain %.3fs, ring-observed %.3fs (median paired ratio %+.1f%%, %d events)\n",
+			rep.TraceOverhead.P, plain, observed, 100*rep.TraceOverhead.OverheadFrac, ring.Total())
 	}
 
 	if *big {

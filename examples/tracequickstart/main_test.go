@@ -1,0 +1,20 @@
+package main
+
+import "fmt"
+
+// The example's output is deterministic: virtual time and every counter
+// derive only from Cost parameters and payload sizes, so the energy split
+// — and its bit-identity with the untraced pricing — is stable.
+func Example_report() {
+	fmt.Print(report())
+	// Output:
+	// 2.5D matmul, p=32, traced through the event bus
+	// energy split (Eq. 2):
+	//   compute   γe·F    6.656e-05 J
+	//   bandwidth βe·W    5.1328e-05 J
+	//   latency   αe·S    0.000304 J
+	//   memory    δe·M·T  9.75667e-12 J
+	//   leakage   εe·T    5.0816e-06 J
+	//   total             0.00042697 J
+	// split sums to the Result's priced energy: true
+}

@@ -70,8 +70,11 @@ func Profile(m machine.Params, res *sim.Result, buckets int) (*PowerProfile, err
 			var joules float64
 			switch s.Kind {
 			case sim.SegCompute:
-				// Energy = γe · flops = γe · duration/γt.
-				if m.GammaT > 0 {
+				// Energy = γe · flops; segments record their flop count,
+				// with duration/γt as the fallback for hand-built traces.
+				if s.Flops > 0 {
+					joules = m.GammaE * s.Flops
+				} else if m.GammaT > 0 {
 					joules = m.GammaE * s.Duration() / m.GammaT
 				}
 			case sim.SegSend:

@@ -131,6 +131,7 @@ func stacked(cost sim.Cost, q, c int, a *matrix.Dense) (*Result, error) {
 
 		done := false // this rank's block has been finalized
 		for k := 0; k < q; k++ {
+			r.Phase(fmt.Sprintf("step %d", k))
 			active := k % c
 			// Panel blocks: sum the c partials onto the active layer.
 			if !done && (row == k || col == k) {

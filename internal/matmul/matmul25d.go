@@ -56,6 +56,7 @@ func TwoPointFiveD(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult, err
 		r.Alloc(3 * nb * nb)
 
 		// Step 1: replicate the layer-0 blocks down the fibers.
+		r.Phase("replicate")
 		var aData, bData []float64
 		if layer == 0 {
 			aData = a.Block(row*nb, col*nb, nb, nb).Data
@@ -68,6 +69,7 @@ func TwoPointFiveD(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult, err
 		// offset l·(q/c): rank (i,j,l) must hold A(i, (j+i+off) mod q) and
 		// B((i+j+off) mod q, j). Each rank forwards its block to the rank
 		// that needs it — a permutation within the layer.
+		r.Phase("align")
 		off := layer * stepsPerLayer
 		aDst := grid.RankAt(row, mod(col-row-off, q), layer)
 		bDst := grid.RankAt(mod(row-col-off, q), col, layer)
@@ -76,6 +78,7 @@ func TwoPointFiveD(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult, err
 		aBlk := matrix.FromData(nb, nb, r.Recv(grid.RankAt(row, mod(col+row+off, q), layer)))
 		bBlk := matrix.FromData(nb, nb, r.Recv(grid.RankAt(mod(row+col+off, q), col, layer)))
 
+		r.Phase("multiply-shift")
 		cBlk := matrix.New(nb, nb)
 		for step := 0; step < stepsPerLayer; step++ {
 			matrix.MulAdd(cBlk, aBlk, bBlk)
@@ -87,6 +90,7 @@ func TwoPointFiveD(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult, err
 		}
 
 		// Step 3: sum partials across the fiber onto layer 0.
+		r.Phase("reduce")
 		sum := fiberComm.ReduceLarge(0, cBlk.Data, sim.OpSum)
 		if layer == 0 {
 			cBlocks[layer0.RankAt(row, col)] = matrix.FromData(nb, nb, sum)
@@ -135,6 +139,7 @@ func ThreeD(cost sim.Cost, q int, a, b *matrix.Dense) (*RunResult, error) {
 
 		// Owners on layer 0 ship A(i,k) to (i,k,k) and B(k,j) to (k,j,k),
 		// which then broadcast within layer k.
+		r.Phase("distribute")
 		if layer == 0 {
 			aOwn := a.Block(row*nb, col*nb, nb, nb).Data
 			bOwn := b.Block(row*nb, col*nb, nb, nb).Data
@@ -151,15 +156,18 @@ func ThreeD(cost sim.Cost, q int, a, b *matrix.Dense) (*RunResult, error) {
 		}
 		// Rank (i,j,k) needs A(i,k): held by (i,k,k); broadcast along the
 		// row (fixed i, fixed k, varying j) from member j = k.
+		r.Phase("broadcast")
 		aData := rowComm.BcastLarge(layer, aSeed)
 		// And B(k,j): held by (k,j,k); broadcast along the column from
 		// member i = k.
 		bData := colComm.BcastLarge(layer, bSeed)
 
+		r.Phase("multiply")
 		cBlk := matrix.New(nb, nb)
 		matrix.MulAdd(cBlk, matrix.FromData(nb, nb, aData), matrix.FromData(nb, nb, bData))
 		r.Compute(matrix.MulFlops(nb, nb, nb))
 
+		r.Phase("reduce")
 		sum := fiberComm.ReduceLarge(0, cBlk.Data, sim.OpSum)
 		if layer == 0 {
 			cBlocks[layer0.RankAt(row, col)] = matrix.FromData(nb, nb, sum)
@@ -215,6 +223,7 @@ func TwoPointFiveDSUMMA(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult
 		}
 		r.Alloc(3 * nb * nb)
 
+		r.Phase("replicate")
 		var aData, bData []float64
 		if layer == 0 {
 			aData = a.Block(row*nb, col*nb, nb, nb).Data
@@ -225,6 +234,7 @@ func TwoPointFiveDSUMMA(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult
 		aBlk := matrix.FromData(nb, nb, aData)
 		bBlk := matrix.FromData(nb, nb, bData)
 
+		r.Phase("summa")
 		cBlk := matrix.New(nb, nb)
 		for s := 0; s < panelsPerLayer; s++ {
 			t := layer*panelsPerLayer + s
@@ -234,6 +244,7 @@ func TwoPointFiveDSUMMA(cost sim.Cost, q, c int, a, b *matrix.Dense) (*RunResult
 			r.Compute(matrix.MulFlops(nb, nb, nb))
 		}
 
+		r.Phase("reduce")
 		sum := fiberComm.ReduceLarge(0, cBlk.Data, sim.OpSum)
 		if layer == 0 {
 			cBlocks[layer0.RankAt(row, col)] = matrix.FromData(nb, nb, sum)

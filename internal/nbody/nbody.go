@@ -153,6 +153,7 @@ func Replicated(cost sim.Cost, p, c int, bodies Bodies) (*RunResult, error) {
 		r.Alloc(2*blockWords + forceWords)
 
 		// Replicate block `pos` from team 0 down the column.
+		r.Phase("replicate")
 		var resident []float64
 		if team == 0 {
 			resident = bodies[pos*blockWords : (pos+1)*blockWords]
@@ -162,6 +163,7 @@ func Replicated(cost sim.Cost, p, c int, bodies Bodies) (*RunResult, error) {
 		// Team `team` handles source blocks pos+team·(k/c)+t, t ∈ [0, k/c).
 		// The traveling copy starts team·(k/c) positions ahead: fetch it
 		// with a single shift by that offset, then shift by one each step.
+		r.Phase("force-shift")
 		traveling := ring.Shift(resident, -team*stepsPerTeam)
 		forces := make([]float64, forceWords)
 		for t := 0; t < stepsPerTeam; t++ {
@@ -174,6 +176,7 @@ func Replicated(cost sim.Cost, p, c int, bodies Bodies) (*RunResult, error) {
 		}
 
 		// Sum the per-team partial forces for block `pos` onto team 0.
+		r.Phase("reduce")
 		total := column.ReduceLarge(0, forces, sim.OpSum)
 		if team == 0 {
 			results[pos] = total

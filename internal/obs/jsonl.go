@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"perfscale/internal/sim"
+)
+
+// JSONLWriter streams every bus event as one JSON object per line, in the
+// order the (concurrent) callbacks arrive. Lines from one rank are in that
+// rank's virtual-time order; across ranks the interleaving follows the Go
+// scheduler — sort on "start" for a global timeline. Errors are sticky:
+// the first write failure stops further output and is reported by Err and
+// Flush.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// jsonEvent is the wire form of an Event; zero-valued dimensions are
+// omitted to keep lines short.
+type jsonEvent struct {
+	Kind  string  `json:"kind"`
+	Rank  int     `json:"rank"`
+	Peer  int     `json:"peer,omitempty"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Words int     `json:"words,omitempty"`
+	Msgs  float64 `json:"msgs,omitempty"`
+	Flops float64 `json:"flops,omitempty"`
+	Name  string  `json:"name,omitempty"`
+}
+
+// NewJSONLWriter creates a streaming writer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (jw *JSONLWriter) write(e Event) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	jw.err = jw.enc.Encode(jsonEvent{
+		Kind: e.Kind.String(), Rank: e.Rank, Peer: e.Peer,
+		Start: e.Start, End: e.End,
+		Words: e.Words, Msgs: e.Msgs, Flops: e.Flops, Name: e.Name,
+	})
+}
+
+// OnCompute implements sim.Observer.
+func (jw *JSONLWriter) OnCompute(rank int, seg sim.Segment) { jw.write(segEvent(rank, seg)) }
+
+// OnSend implements sim.Observer.
+func (jw *JSONLWriter) OnSend(rank int, seg sim.Segment) { jw.write(segEvent(rank, seg)) }
+
+// OnRecv implements sim.Observer.
+func (jw *JSONLWriter) OnRecv(rank int, seg sim.Segment) { jw.write(segEvent(rank, seg)) }
+
+// OnPhase implements sim.Observer.
+func (jw *JSONLWriter) OnPhase(rank int, name string, at float64) {
+	jw.write(Event{Kind: KindPhase, Rank: rank, Peer: -1, Start: at, End: at, Name: name})
+}
+
+// OnFault implements sim.Observer.
+func (jw *JSONLWriter) OnFault(ev sim.FaultEvent) { jw.write(faultEvent(ev)) }
+
+// OnCrash implements sim.Observer.
+func (jw *JSONLWriter) OnCrash(ev sim.CrashEvent) { jw.write(crashEvent(ev)) }
+
+// OnDeadlock implements sim.Observer.
+func (jw *JSONLWriter) OnDeadlock(ev sim.DeadlockEvent) { jw.write(deadlockEvent(ev)) }
+
+// Flush drains the buffer and returns the sticky error, if any. Call it
+// after sim.Run returns.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return jw.err
+	}
+	jw.err = jw.bw.Flush()
+	return jw.err
+}
+
+// Err returns the first write error, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"perfscale/internal/machine"
+	"perfscale/internal/sim"
+)
+
+// The Chrome trace-event format (also read by ui.perfetto.dev): a JSON
+// object whose traceEvents array holds slices ("X", with ts/dur), instant
+// events ("i"), counter samples ("C") and metadata ("M"). Timestamps are
+// microseconds; the simulator's virtual seconds are scaled by 1e6, so one
+// trace microsecond is one simulated microsecond.
+const secondsToUs = 1e6
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceOptions configures WriteChromeTrace.
+type TraceOptions struct {
+	// Machine enables the cumulative-energy counter track: dynamic energy
+	// deposited per event plus the static δe·M+εe floor accrued linearly.
+	// Requires Result for the per-rank peak memory and run length.
+	Machine *machine.Params
+	// Result supplies per-rank Stats for the static-power slope; optional
+	// unless Machine is set.
+	Result *sim.Result
+	// CounterSamples caps each counter track's sample count (the trace
+	// would otherwise carry one sample per event). Zero means 512.
+	CounterSamples int
+}
+
+// WriteChromeTrace exports a collected run as Chrome/Perfetto trace JSON:
+// one track (tid) per rank carrying its phase slices and timeline
+// segments, instant events for faults and crashes, and machine-wide
+// counter tracks for cumulative words, messages and (with Machine set)
+// energy. Open the output at ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, col *Collector, opt TraceOptions) error {
+	if opt.Machine != nil && opt.Result == nil {
+		return fmt.Errorf("obs: TraceOptions.Machine requires Result for static power")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		_, err = bw.Write(buf)
+		return err
+	}
+
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: 0, Args: map[string]any{"name": fmt.Sprintf("simulated cluster (p=%d)", col.P())}}); err != nil {
+		return err
+	}
+	for rank := 0; rank < col.P(); rank++ {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: rank, Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)}}); err != nil {
+			return err
+		}
+	}
+
+	lastEnd := make([]float64, col.P())
+	for rank := 0; rank < col.P(); rank++ {
+		for _, e := range col.Rank(rank) {
+			if e.End > lastEnd[rank] {
+				lastEnd[rank] = e.End
+			}
+		}
+	}
+
+	for rank := 0; rank < col.P(); rank++ {
+		events := col.Rank(rank)
+		// Phase marks become enclosing slices: each spans from its mark to
+		// the next mark (or the rank's last event). Segments between two
+		// marks are fully contained — the rank's clock passes a mark only
+		// between operations — so Perfetto nests them under the phase.
+		var marks []Event
+		for _, e := range events {
+			if e.Kind == KindPhase {
+				marks = append(marks, e)
+			}
+		}
+		for i, mk := range marks {
+			end := lastEnd[rank]
+			if i+1 < len(marks) {
+				end = marks[i+1].Start
+			}
+			dur := (end - mk.Start) * secondsToUs
+			if err := emit(chromeEvent{Name: mk.Name, Ph: "X", Pid: 0, Tid: rank, Ts: mk.Start * secondsToUs, Dur: &dur, Cat: "phase"}); err != nil {
+				return err
+			}
+		}
+		for _, e := range events {
+			switch e.Kind {
+			case KindCompute, KindSend, KindWait, KindRecv:
+				dur := e.Duration() * secondsToUs
+				args := map[string]any{}
+				if e.Peer >= 0 {
+					args["peer"] = e.Peer
+				}
+				if e.Words > 0 {
+					args["words"] = e.Words
+				}
+				if e.Msgs > 0 {
+					args["msgs"] = e.Msgs
+				}
+				if e.Flops > 0 {
+					args["flops"] = e.Flops
+				}
+				if err := emit(chromeEvent{Name: e.Kind.String(), Ph: "X", Pid: 0, Tid: e.Rank, Ts: e.Start * secondsToUs, Dur: &dur, Cat: "seg", Args: args}); err != nil {
+					return err
+				}
+			case KindFault:
+				if err := emit(chromeEvent{Name: "fault:" + e.Name, Ph: "i", Pid: 0, Tid: e.Rank, Ts: e.Start * secondsToUs, S: "t", Cat: "fault", Args: map[string]any{"dst": e.Peer, "words": e.Words}}); err != nil {
+					return err
+				}
+			case KindCrash:
+				if err := emit(chromeEvent{Name: e.Name, Ph: "i", Pid: 0, Tid: e.Rank, Ts: e.Start * secondsToUs, S: "t", Cat: "crash"}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, d := range col.Deadlocks() {
+		rank := d.Err.Rank
+		if err := emit(chromeEvent{Name: "deadlock", Ph: "i", Pid: 0, Tid: rank, Ts: lastEnd[rank] * secondsToUs, S: "g", Cat: "deadlock", Args: map[string]any{"peer": d.Err.Peer, "op": d.Err.Op}}); err != nil {
+			return err
+		}
+	}
+
+	if err := writeCounters(emit, col, opt); err != nil {
+		return err
+	}
+
+	_, err := bw.WriteString("\n]}\n")
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// counterSample is one cumulative data point.
+type counterSample struct {
+	t float64
+	w float64 // words sent so far
+	s float64 // messages sent so far
+	e float64 // dynamic energy deposited so far
+}
+
+// writeCounters emits the machine-wide cumulative counter tracks. Values
+// accumulate non-negative deltas in time order, so every track is monotone
+// non-decreasing by construction.
+func writeCounters(emit func(chromeEvent) error, col *Collector, opt TraceOptions) error {
+	var deltas []counterSample
+	for rank := 0; rank < col.P(); rank++ {
+		for _, e := range col.Rank(rank) {
+			switch e.Kind {
+			case KindSend:
+				d := counterSample{t: e.End, w: float64(e.Words), s: e.Msgs}
+				if opt.Machine != nil {
+					d.e = opt.Machine.BetaE*float64(e.Words) + opt.Machine.AlphaE*e.Msgs
+				}
+				deltas = append(deltas, d)
+			case KindCompute:
+				d := counterSample{t: e.End}
+				if opt.Machine != nil {
+					d.e = opt.Machine.GammaE * e.Flops
+				} else {
+					continue
+				}
+				deltas = append(deltas, d)
+			}
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].t < deltas[j].t })
+
+	samples := make([]counterSample, 0, len(deltas)+1)
+	cum := counterSample{}
+	for _, d := range deltas {
+		cum.t = d.t
+		cum.w += d.w
+		cum.s += d.s
+		cum.e += d.e
+		samples = append(samples, cum)
+	}
+
+	// The static δe·M+εe floor accrues for the whole run on every rank;
+	// adding it at each sample keeps the energy counter monotone and makes
+	// its final value the full Eq. 2 energy.
+	static := 0.0
+	if opt.Machine != nil {
+		T := opt.Result.Time()
+		for _, s := range opt.Result.PerRank {
+			static += opt.Machine.DeltaE*s.PeakMemWords + opt.Machine.EpsilonE
+		}
+		if len(samples) == 0 || samples[len(samples)-1].t < T {
+			cum.t = T
+			samples = append(samples, cum)
+		}
+	}
+
+	max := opt.CounterSamples
+	if max <= 0 {
+		max = 512
+	}
+	stride := 1
+	if len(samples) > max {
+		stride = int(math.Ceil(float64(len(samples)) / float64(max)))
+	}
+	for i := 0; i < len(samples); i += stride {
+		// Always keep the final sample so the counters end at the totals.
+		if i+stride >= len(samples) {
+			i = len(samples) - 1
+		}
+		sm := samples[i]
+		ts := sm.t * secondsToUs
+		if err := emit(chromeEvent{Name: "cumulative words sent", Ph: "C", Pid: 0, Ts: ts, Args: map[string]any{"words": sm.w}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "cumulative messages sent", Ph: "C", Pid: 0, Ts: ts, Args: map[string]any{"msgs": sm.s}}); err != nil {
+			return err
+		}
+		if opt.Machine != nil {
+			if err := emit(chromeEvent{Name: "cumulative energy (J)", Ph: "C", Pid: 0, Ts: ts, Args: map[string]any{"joules": sm.e + static*sm.t}}); err != nil {
+				return err
+			}
+		}
+		if i == len(samples)-1 {
+			break
+		}
+	}
+	return nil
+}
+
+// TraceStats summarizes a validated Chrome trace.
+type TraceStats struct {
+	// Slices, Instants and CounterEvents count "X", "i" and "C" entries.
+	Slices, Instants, CounterEvents int
+	// RankTracks counts distinct tids carrying at least one slice.
+	RankTracks int
+	// PhaseSlices counts slices in the "phase" category.
+	PhaseSlices int
+	// Counters maps each counter track to its final value.
+	Counters map[string]float64
+}
+
+// ValidateChromeTrace parses trace JSON produced by WriteChromeTrace and
+// checks its structural invariants: it must parse, slices must have
+// non-negative durations, and every counter track must be monotone
+// non-decreasing in time. It returns per-kind counts for smoke tests.
+func ValidateChromeTrace(data []byte) (*TraceStats, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: trace does not parse: %w", err)
+	}
+	stats := &TraceStats{Counters: map[string]float64{}}
+	tids := map[int]bool{}
+	type counterState struct {
+		ts, value float64
+		seen      bool
+	}
+	counters := map[string]*counterState{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("obs: slice %q at ts=%g has negative duration %g", ev.Name, ev.Ts, ev.Dur)
+			}
+			stats.Slices++
+			tids[ev.Tid] = true
+			if ev.Cat == "phase" {
+				stats.PhaseSlices++
+			}
+		case "i":
+			stats.Instants++
+		case "C":
+			stats.CounterEvents++
+			for _, v := range ev.Args {
+				val, ok := v.(float64)
+				if !ok {
+					return nil, fmt.Errorf("obs: counter %q carries non-numeric value %v", ev.Name, v)
+				}
+				st := counters[ev.Name]
+				if st == nil {
+					st = &counterState{}
+					counters[ev.Name] = st
+				}
+				if st.seen && ev.Ts < st.ts {
+					return nil, fmt.Errorf("obs: counter %q samples out of time order at ts=%g", ev.Name, ev.Ts)
+				}
+				if st.seen && val < st.value {
+					return nil, fmt.Errorf("obs: counter %q is not monotone: %g after %g at ts=%g", ev.Name, val, st.value, ev.Ts)
+				}
+				st.ts, st.value, st.seen = ev.Ts, val, true
+				stats.Counters[ev.Name] = val
+			}
+		}
+	}
+	stats.RankTracks = len(tids)
+	return stats, nil
+}

@@ -51,9 +51,11 @@ type FaultPlan struct {
 type LinkFault struct {
 	Src, Dst    int
 	From, Until float64
-	// DropProb is the probability the message is silently discarded (the
-	// receiver never sees it — an unprotected receiver then hangs until
-	// the watchdog converts the hang into a diagnostic error).
+	// DropProb is the probability the message's primary copy is silently
+	// discarded (a receiver the send was its only copy for then hangs
+	// until the watchdog converts the hang into a diagnostic error). A
+	// simultaneously duplicated message still delivers its duplicate —
+	// each copy routes independently.
 	DropProb float64
 	// DupProb is the probability the message is delivered twice.
 	DupProb float64
@@ -238,13 +240,14 @@ func (r *Rank) crashCheck() {
 		return
 	}
 	r.crashDone = true
+	r.emitCrash(CrashEvent{Rank: r.id, Scheduled: t, Time: r.clock, Respawn: fp.Respawn})
 	if !fp.Respawn {
 		panic(crashPanic{err: &CrashError{Rank: r.id, Time: t}})
 	}
 	r.crashPending = true
 	if fp.RebootTime > 0 {
 		r.stats.WaitTime += fp.RebootTime
-		r.record(Segment{Kind: SegWait, Start: r.clock, End: r.clock + fp.RebootTime, Peer: -1})
+		r.emit(Segment{Kind: SegWait, Start: r.clock, End: r.clock + fp.RebootTime, Peer: -1})
 		r.clock += fp.RebootTime
 	}
 }

@@ -67,6 +67,12 @@ type Cost struct {
 	// for critical-path and power-profile analysis; Result.Trace carries
 	// them after the run.
 	Trace bool
+	// Observers subscribes event-bus listeners to the run: every timeline
+	// segment, phase mark, fault, crash and deadlock is delivered as it
+	// happens (see Observer for the concurrency contract). The built-in
+	// tracer is appended as one more subscriber when Trace is set. An
+	// empty list costs nothing on the hot path.
+	Observers []Observer
 	// ChanCap overrides DefaultChanCap, the per-pair channel buffer in
 	// messages. Zero means the default; negative values are rejected.
 	ChanCap int
@@ -163,6 +169,11 @@ type Cluster struct {
 	mail   []mailbox        // sparse wiring: mail[dst].queues[src]
 	dense  [][]chan message // dense wiring: dense[src][dst]; nil when sparse
 	tracer *tracer
+	// obs lists the event-bus subscribers (Cost.Observers plus the tracer
+	// when tracing); lastSegs publishes each rank's most recent timeline
+	// segment at blocking transitions, for deadlock snapshots.
+	obs      []Observer
+	lastSegs []atomic.Pointer[Segment]
 
 	// states holds the packed per-rank blocking state the watchdog
 	// samples (see watchdog.go); aborts/abortErr release blocked ranks
@@ -210,9 +221,12 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{p: p, cost: cost}
+	c.obs = append(c.obs, cost.Observers...)
 	if cost.Trace {
-		c.tracer = &tracer{segments: make([][]Segment, p)}
+		c.tracer = &tracer{segments: make([][]Segment, p), phases: make([][]PhaseMark, p)}
+		c.obs = append(c.obs, c.tracer)
 	}
+	c.lastSegs = make([]atomic.Pointer[Segment], p)
 	c.bufCap = cost.ChanCap
 	if c.bufCap == 0 {
 		c.bufCap = DefaultChanCap
@@ -265,6 +279,12 @@ type Rank struct {
 	sendCount    int
 	crashDone    bool
 	crashPending bool
+
+	// lastSeg is the rank's most recent timeline segment (goroutine-local;
+	// published to the cluster's lastSegs at blocking transitions so
+	// deadlock snapshots can report what each rank last did).
+	lastSeg Segment
+	hasSeg  bool
 }
 
 // ID returns the rank's index in [0, P).
@@ -293,7 +313,7 @@ func (r *Rank) Compute(flops float64) {
 	r.stats.Flops += flops
 	dt := r.cluster.cost.GammaT * flops
 	r.stats.ComputeTime += dt
-	r.record(Segment{Kind: SegCompute, Start: r.clock, End: r.clock + dt, Peer: -1})
+	r.emit(Segment{Kind: SegCompute, Start: r.clock, End: r.clock + dt, Peer: -1, Flops: flops})
 	r.clock += dt
 }
 
@@ -331,33 +351,55 @@ func (r *Rank) Send(dst int, data []float64) {
 	}
 	dt := alpha*msgs + beta*float64(k)
 	r.stats.SendTime += dt
-	r.record(Segment{Kind: SegSend, Start: r.clock, End: r.clock + dt, Peer: dst, Words: k, Msgs: msgs})
+	start := r.clock
+	r.emit(Segment{Kind: SegSend, Start: start, End: start + dt, Peer: dst, Words: k, Msgs: msgs})
 	r.clock += dt
 	cp := make([]float64, k)
 	copy(cp, data)
 	seq := r.sendCount
 	r.sendCount++
 	if fp != nil {
+		if (af != 1 || bf != 1) && len(r.cluster.obs) > 0 {
+			r.emitFault(FaultEvent{
+				Kind: FaultDegraded, Src: r.id, Dst: dst, Seq: seq,
+				Time: start, Words: k, AlphaFactor: af, BetaFactor: bf,
+			})
+		}
 		drop, dup, corrupt, dupCorrupt := fp.messageFate(r.id, dst, seq, r.clock)
+		if len(r.cluster.obs) > 0 {
+			if corrupt && k > 0 {
+				r.emitFault(FaultEvent{Kind: FaultCorrupt, Src: r.id, Dst: dst, Seq: seq, Time: r.clock, Words: k, Copy: copyPrimary})
+			}
+			if dup {
+				r.emitFault(FaultEvent{Kind: FaultDup, Src: r.id, Dst: dst, Seq: seq, Time: r.clock, Words: k})
+				if dupCorrupt && k > 0 {
+					r.emitFault(FaultEvent{Kind: FaultCorrupt, Src: r.id, Dst: dst, Seq: seq, Time: r.clock, Words: k, Copy: copyDup})
+				}
+			}
+			if drop {
+				r.emitFault(FaultEvent{Kind: FaultDrop, Src: r.id, Dst: dst, Seq: seq, Time: r.clock, Words: k})
+			}
+		}
 		// The duplicate is its own copy of the clean payload with an
 		// independent corruption fate (keyed on the copy index), so a
 		// corrupt+dup send can deliver one clean and one corrupted copy.
-		var extra []float64
+		// It also takes its own route through the network: a drop loses
+		// only the primary, so drop+dup still delivers the duplicate —
+		// which is what lets the timer-free resilience protocols survive
+		// lossy links that duplicate traffic.
 		if dup {
-			extra = make([]float64, k)
+			extra := make([]float64, k)
 			copy(extra, data)
 			if dupCorrupt && k > 0 {
 				extra[fp.corruptIndex(r.id, dst, seq, copyDup, k)] += 1.0
 			}
+			r.deliver(dst, message{data: extra, arrival: r.clock, alphaF: af, betaF: bf})
 		}
 		if corrupt && k > 0 {
 			cp[fp.corruptIndex(r.id, dst, seq, copyPrimary, k)] += 1.0
 		}
 		if drop {
-			return // the sender has paid; the network loses the message
-		}
-		if dup {
-			r.deliver(dst, message{data: extra, arrival: r.clock, alphaF: af, betaF: bf})
+			return // the sender has paid; the network loses the primary copy
 		}
 	}
 	r.deliver(dst, message{data: cp, arrival: r.clock, alphaF: af, betaF: bf})
@@ -429,7 +471,7 @@ func (r *Rank) Recv(src int) []float64 {
 	}
 	if msg.arrival > r.clock {
 		r.stats.WaitTime += msg.arrival - r.clock
-		r.record(Segment{Kind: SegWait, Start: r.clock, End: msg.arrival, Peer: src, Words: len(msg.data)})
+		r.emit(Segment{Kind: SegWait, Start: r.clock, End: msg.arrival, Peer: src, Words: len(msg.data)})
 		r.clock = msg.arrival
 	}
 	msgs := r.cluster.messagesFor(len(msg.data))
@@ -442,7 +484,7 @@ func (r *Rank) Recv(src int) []float64 {
 		beta *= msg.betaF
 		dt := alpha*msgs + beta*float64(len(msg.data))
 		r.stats.RecvTime += dt
-		r.record(Segment{Kind: SegRecv, Start: r.clock, End: r.clock + dt, Peer: src, Words: len(msg.data)})
+		r.emit(Segment{Kind: SegRecv, Start: r.clock, End: r.clock + dt, Peer: src, Words: len(msg.data), Msgs: msgs})
 		r.clock += dt
 	}
 	// The receive side counts the same ⌈k/m⌉ network messages the send
@@ -574,7 +616,7 @@ func Run(p int, cost Cost, fn func(r *Rank) error) (*Result, error) {
 func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 	res := &Result{PerRank: make([]Stats, c.p)}
 	if c.tracer != nil {
-		res.Trace = &Trace{Segments: c.tracer.segments}
+		res.Trace = &Trace{Segments: c.tracer.segments, Phases: c.tracer.phases}
 	}
 	errs := make([]error, c.p)
 	stop := make(chan struct{})

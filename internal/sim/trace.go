@@ -40,35 +40,61 @@ func (k SegmentKind) String() string {
 type Segment struct {
 	Kind       SegmentKind
 	Start, End float64
-	// Peer is the other rank for send/wait/recv segments, -1 for compute.
+	// Peer is the other rank for send/wait/recv segments, -1 for compute
+	// and for injected stalls (crash reboot waits).
 	Peer int
 	// Words is the message size for communication segments.
 	Words int
-	// Msgs is the network-message count of a send segment (⌈Words/m⌉),
+	// Msgs is the network-message count of a send/recv segment (⌈Words/m⌉),
 	// matching the S counter.
 	Msgs float64
+	// Flops is the work of a compute segment, so energy attribution does
+	// not have to divide the duration by γt.
+	Flops float64
 }
 
 // Duration returns End − Start.
 func (s Segment) Duration() float64 { return s.End - s.Start }
 
+// PhaseMark is a named instant on a rank's timeline, placed by Rank.Phase.
+type PhaseMark struct {
+	Name string
+	Time float64
+}
+
 // Trace is the per-rank event record of a traced run.
 type Trace struct {
 	// Segments[rank] lists that rank's intervals in time order.
 	Segments [][]Segment
+	// Phases[rank] lists that rank's phase marks in time order; nil when
+	// the program declared none (consumers must tolerate a nil slice).
+	Phases [][]PhaseMark
 }
 
-// tracer is attached to a cluster when Cost.Trace is set.
+// tracer is the Observer subscriber attached when Cost.Trace is set. Each
+// callback appends to the rank's own slice from the rank's own goroutine,
+// so no locking is needed.
 type tracer struct {
 	segments [][]Segment
+	phases   [][]PhaseMark
 }
 
-func (r *Rank) record(seg Segment) {
-	if r.cluster.tracer == nil || seg.End <= seg.Start {
+func (t *tracer) add(rank int, seg Segment) {
+	if seg.End <= seg.Start {
 		return
 	}
-	r.cluster.tracer.segments[r.id] = append(r.cluster.tracer.segments[r.id], seg)
+	t.segments[rank] = append(t.segments[rank], seg)
 }
+
+func (t *tracer) OnCompute(rank int, seg Segment) { t.add(rank, seg) }
+func (t *tracer) OnSend(rank int, seg Segment)    { t.add(rank, seg) }
+func (t *tracer) OnRecv(rank int, seg Segment)    { t.add(rank, seg) }
+func (t *tracer) OnPhase(rank int, name string, at float64) {
+	t.phases[rank] = append(t.phases[rank], PhaseMark{Name: name, Time: at})
+}
+func (t *tracer) OnFault(FaultEvent)       {}
+func (t *tracer) OnCrash(CrashEvent)       {}
+func (t *tracer) OnDeadlock(DeadlockEvent) {}
 
 // CriticalPath walks the message-dependency graph backwards from the
 // last-finishing rank: within a rank, time flows through its segments; a
@@ -105,12 +131,14 @@ func (t *Trace) CriticalPath() []Segment {
 			break
 		}
 		seg := segs[i]
-		if seg.Kind == SegWait {
+		if seg.Kind == SegWait && seg.Peer >= 0 {
 			// The wait ended when the sender's message arrived: jump to the
 			// sender at the same instant (the send segment ends there).
 			rank = seg.Peer
 			continue
 		}
+		// Peer-less waits (crash reboot stalls) have no releasing sender:
+		// the time passes on this rank, so they stay on the path.
 		path = append(path, seg)
 		now = seg.Start
 	}

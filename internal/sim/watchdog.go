@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -42,8 +43,15 @@ func unpackState(w uint64) (op uint64, peer int) {
 	return w >> 30 & 3, int(w & peerMask)
 }
 
-// setState publishes a rank's blocking state to the watchdog.
+// setState publishes a rank's blocking state to the watchdog. Blocking
+// (and exit) transitions also publish the rank's most recent timeline
+// segment, so a deadlock snapshot can say what each rank last did; the
+// store stays off the non-blocking fast paths of Send and Recv.
 func (r *Rank) setState(op uint64, peer int) {
+	if op != opRunning && r.hasSeg {
+		seg := r.lastSeg
+		r.cluster.lastSegs[r.id].Store(&seg)
+	}
 	r.stateSeq++
 	r.cluster.states[r.id].Store(packState(r.stateSeq, op, peer))
 }
@@ -65,6 +73,120 @@ type DeadlockError struct {
 	// Graph is the cluster-wide wait-for description at detection time
 	// (empty for the per-rank send-to-exited case).
 	Graph string
+	// Snapshot is the cluster-wide state at detection time — what every
+	// rank was doing and which wired pairs still held undelivered
+	// messages — so the deadlock is debuggable without rerunning under
+	// trace. All ranks aborted by one detection share one snapshot.
+	Snapshot *ClusterSnapshot
+}
+
+// ClusterSnapshot captures the whole cluster at a watchdog detection.
+type ClusterSnapshot struct {
+	// Ranks has one entry per rank, indexed by rank id.
+	Ranks []RankSnapshot
+	// Queued lists the wired pairs holding sent-but-undelivered messages,
+	// sorted by (src, dst). A blocked receiver whose pair is absent here
+	// has genuinely never been sent the message it waits for.
+	Queued []QueuedPair
+}
+
+// RankSnapshot is one rank's state inside a ClusterSnapshot.
+type RankSnapshot struct {
+	Rank int
+	// State is "running", "blocked-recv", "blocked-send" or "exited".
+	State string
+	// Peer is the rank waited on; -1 unless blocked.
+	Peer int
+	// LastSeg is the rank's most recent timeline segment as of its last
+	// blocking transition (nil when the rank never blocked after emitting
+	// a segment). It names the last thing the rank verifiably did.
+	LastSeg *Segment
+}
+
+// QueuedPair counts undelivered messages buffered on one wired pair.
+type QueuedPair struct {
+	Src, Dst int
+	Count    int
+}
+
+// String renders the snapshot compactly, one line per non-idle fact.
+func (s *ClusterSnapshot) String() string {
+	var b strings.Builder
+	b.WriteString("cluster snapshot:")
+	for _, r := range s.Ranks {
+		if r.State == "running" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  rank %d: %s", r.Rank, r.State)
+		if r.Peer >= 0 {
+			fmt.Fprintf(&b, " peer=%d", r.Peer)
+		}
+		if r.LastSeg != nil {
+			fmt.Fprintf(&b, " last=%s[%g,%g]", r.LastSeg.Kind, r.LastSeg.Start, r.LastSeg.End)
+		}
+	}
+	for _, q := range s.Queued {
+		fmt.Fprintf(&b, "\n  queued %d->%d: %d msg(s)", q.Src, q.Dst, q.Count)
+	}
+	return b.String()
+}
+
+// snapshot builds a ClusterSnapshot from the watchdog's sampled state
+// words. Runs on the watchdog goroutine; channel lengths and the atomic
+// last-segment pointers are safe to read concurrently.
+func (c *Cluster) snapshot(states []uint64) *ClusterSnapshot {
+	snap := &ClusterSnapshot{Ranks: make([]RankSnapshot, c.p)}
+	for id := 0; id < c.p; id++ {
+		op, peer := unpackState(states[id])
+		rs := RankSnapshot{Rank: id, Peer: -1}
+		switch op {
+		case opBlockedRecv:
+			rs.State, rs.Peer = "blocked-recv", peer
+		case opBlockedSend:
+			rs.State, rs.Peer = "blocked-send", peer
+		case opExited:
+			rs.State = "exited"
+		default:
+			rs.State = "running"
+		}
+		rs.LastSeg = c.lastSegs[id].Load()
+		snap.Ranks[id] = rs
+	}
+	snap.Queued = c.queuedPairs()
+	return snap
+}
+
+// queuedPairs counts undelivered messages per wired pair, sorted for
+// deterministic reports.
+func (c *Cluster) queuedPairs() []QueuedPair {
+	var out []QueuedPair
+	if c.dense != nil {
+		for src := 0; src < c.p; src++ {
+			for dst := 0; dst < c.p; dst++ {
+				if n := len(c.dense[src][dst]); n > 0 {
+					out = append(out, QueuedPair{Src: src, Dst: dst, Count: n})
+				}
+			}
+		}
+		return out
+	}
+	for dst := range c.mail {
+		mb := &c.mail[dst]
+		mb.mu.Lock()
+		for src, ch := range mb.queues {
+			if n := len(ch); n > 0 {
+				out = append(out, QueuedPair{Src: src, Dst: dst, Count: n})
+			}
+		}
+		mb.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
 }
 
 func (e *DeadlockError) Error() string {
@@ -141,7 +263,9 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 				continue
 			}
 			if now.Sub(since[id]) >= timeout {
-				c.abort(id, &DeadlockError{Rank: id, Op: "send", Peer: peer, PeerExited: true})
+				err := &DeadlockError{Rank: id, Op: "send", Peer: peer, PeerExited: true, Snapshot: c.snapshot(cur)}
+				c.emitDeadlock(DeadlockEvent{Err: err})
+				c.abort(id, err)
 				fired[id] = true
 			}
 		}
@@ -164,10 +288,13 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 			continue
 		}
 		graph := waitGraph(cur)
+		snap := c.snapshot(cur)
 		for id := 0; id < c.p; id++ {
 			op, peer := unpackState(cur[id])
 			if op == opBlockedRecv || op == opBlockedSend {
-				c.abort(id, &DeadlockError{Rank: id, Op: opName(op), Peer: peer, Graph: graph})
+				err := &DeadlockError{Rank: id, Op: opName(op), Peer: peer, Graph: graph, Snapshot: snap}
+				c.emitDeadlock(DeadlockEvent{Err: err})
+				c.abort(id, err)
 				fired[id] = true
 			}
 		}

@@ -268,11 +268,16 @@ func capsRecurse(r *sim.Rank, base, g, m int, aQ, bQ [4][]float64, cutoff int, s
 		if g != 1 {
 			return [4][]float64{}, fmt.Errorf("strassen: schedule exhausted with group size %d", g)
 		}
+		r.Phase("leaf")
 		return capsLeaf(r, m, aQ, bQ, cutoff), nil
 	}
+	// Mark each schedule level (keyed by remaining depth, so names are
+	// stable across the seven DFS sub-calls of one level).
 	if sched[0] == bfsStep {
+		r.Phase(fmt.Sprintf("bfs/%d", len(sched)))
 		return capsBFS(r, base, g, m, aQ, bQ, cutoff, sched)
 	}
+	r.Phase(fmt.Sprintf("dfs/%d", len(sched)))
 	return capsDFS(r, base, g, m, aQ, bQ, cutoff, sched)
 }
 
