@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"perfscale/internal/conformance"
 	"perfscale/internal/core"
 	"perfscale/internal/machine"
 	"perfscale/internal/matmul"
@@ -86,6 +87,10 @@ type report struct {
 	Runs          []runRecord    `json:"runs"`
 	Comparisons   []comparison   `json:"dense_vs_sparse"`
 	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
+	// Conformance is the quick model-conformance sweep (the CI gate), with
+	// its wall time, so the gate's cost is tracked alongside the simulator's
+	// own scaling numbers.
+	Conformance *conformance.Report `json:"conformance,omitempty"`
 }
 
 // vmHWM reads the process's peak resident set (kB) from /proc/self/status;
@@ -298,6 +303,28 @@ func main() {
 		fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
 			al.name, rec.P, rec.Wiring, rec.WallSeconds,
 			rec.ActivePairs, rec.SimTime, rec.EnergyJoules)
+	}
+
+	// The conformance gate's wall time, measured on the same host as the
+	// scaling runs above. Violations are a hard failure: a bench report is
+	// only meaningful for a simulator that still matches the model.
+	{
+		start := time.Now()
+		confRep, err := conformance.Sweep(conformance.Config{Machine: m, Level: conformance.Quick})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		confRep.WallSeconds = time.Since(start).Seconds()
+		rep.Conformance = confRep
+		fmt.Printf("conformance quick: %d points, %d checks, %d violations, wall=%0.3fs\n",
+			confRep.Points, confRep.Checks, len(confRep.Violations), confRep.WallSeconds)
+		if !confRep.Ok() {
+			for _, v := range confRep.Violations {
+				fmt.Fprintln(os.Stderr, "  "+v.String())
+			}
+			os.Exit(1)
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,100 @@
+// Command conformance runs the model-conformance sweep: every distributed
+// algorithm in the repository against the paper's closed forms, checked by
+// the differential, metamorphic and replay property families in
+// internal/conformance.
+//
+// Usage:
+//
+//	conformance -quick               # CI gate: small grids, a few seconds
+//	conformance -full                # widened grids
+//	conformance -alg fft,matmul-2.5d # restrict to named algorithms
+//	conformance -machine jaketown    # price on a named machine or JSON file
+//	conformance -out report.json     # machine-readable violation report
+//	conformance -v                   # dump every band ratio to stderr
+//
+// The exit status is 0 when the sweep passes, 1 on violations, 2 on a
+// harness failure (an algorithm refusing to run, bad flags).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"perfscale/internal/conformance"
+	"perfscale/internal/machine"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "quick sweep (the CI gate)")
+	full := flag.Bool("full", false, "full sweep (widened grids)")
+	algs := flag.String("alg", "", "comma-separated algorithms (default all; see -list)")
+	list := flag.Bool("list", false, "list the algorithms the sweep covers and exit")
+	machineName := flag.String("machine", "simdefault", "machine preset name or params JSON file")
+	out := flag.String("out", "", "write the JSON report to this file (default none)")
+	verbose := flag.Bool("v", false, "dump every band-check ratio to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, name := range conformance.AlgorithmNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *quick == *full {
+		fmt.Fprintln(os.Stderr, "conformance: pick exactly one of -quick or -full")
+		os.Exit(2)
+	}
+
+	m, err := machine.Resolve(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(2)
+	}
+	cfg := conformance.Config{Machine: m, Level: conformance.Quick}
+	if *full {
+		cfg.Level = conformance.Full
+	}
+	if *algs != "" {
+		for _, a := range strings.Split(*algs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Algorithms = append(cfg.Algorithms, a)
+			}
+		}
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	start := time.Now()
+	rep, err := conformance.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(2)
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("conformance %s on %s: %d points, %d checks, %d violations (%.2fs)\n",
+		rep.Level, rep.Machine, rep.Points, rep.Checks, len(rep.Violations), rep.WallSeconds)
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v.String())
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}

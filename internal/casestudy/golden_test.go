@@ -1,0 +1,57 @@
+package casestudy
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenArtifacts pins the numerical content of every Section VI
+// artifact — Table I, Table II, Figure 6 and Figure 7 — to six significant
+// digits. The derivations are pure functions of the Jaketown constants, so
+// any drift here means the model changed, not the formatting.
+func TestGoldenArtifacts(t *testing.T) {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("table1: name derived printed")
+	for _, r := range Table1() {
+		w("  %s %.6g %.6g", r.Name, r.Derived, r.Printed)
+	}
+	w("table2: device peakGFLOPS gammaT gammaE gflopsPerW effErr")
+	for _, r := range Table2() {
+		w("  %s %.6g %.6g %.6g %.6g %.6g", r.Device.Name, r.PeakGFLOPS, r.GammaT, r.GammaE, r.GFLOPSPerW, r.EffErr)
+	}
+	w("fig6: generation field efficiency")
+	for _, p := range Fig6(8) {
+		w("  %d %s %.6g", p.Generation, p.Field, p.Efficiency)
+	}
+	w("fig7: generation multiplier efficiency")
+	for _, p := range Fig7(8) {
+		w("  %d %.6g %.6g", p.Generation, p.Multiplier, p.Efficiency)
+	}
+	w("generations to 75 GFLOPS/W: %d", GenerationsToTarget(75, 20))
+
+	path := filepath.Join("testdata", "artifacts.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("artifacts differ from %s:\n--- got\n%s\n--- want\n%s", path, b.String(), want)
+	}
+}

@@ -1,0 +1,191 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/core"
+)
+
+// checkClosedForms verifies the analytic layer against itself: the generic
+// Eq. 1–2 pricing of the Section IV cost expressions must agree with the
+// paper's expanded closed forms term by term, and the perfect-strong-scaling
+// theorems must hold as exact metamorphic transforms of those forms. These
+// checks need no simulator and cost microseconds, so both levels run the
+// same grid.
+func checkClosedForms(ck *checker, cfg Config) {
+	m := ck.m
+	const alg = "closed-form"
+	const tol = 1e-12
+
+	// Classical matmul grid: (n, p) with M placed inside the scaling region
+	// n²/p ≤ M ≤ n²/p^(2/3).
+	for _, n := range []float64{256, 1024, 4096} {
+		for _, p := range []float64{16, 64, 256} {
+			mem := 2 * n * n / p // one replica of headroom: inside the region for p ≥ 8
+			pt := Point{N: int(n), P: int(p)}
+			if err := core.CheckMatMulRange(n, p, mem); err != nil {
+				ck.checkTrue("metamorphic/region", alg, pt, "M", false, mem, 0, err.Error())
+				continue
+			}
+
+			// Differential within the analytic layer: generic pricing of the
+			// Eq. 8 costs vs the expanded Eq. 9/10 closed forms.
+			gen := core.MatMulClassical(m, n, p, mem)
+			ck.checkTrue("closed-form/time-eq9", alg, pt, "T",
+				relClose(gen.TotalTime(), core.MatMulTimeClosedForm(m, n, p, mem), tol),
+				gen.TotalTime(), core.MatMulTimeClosedForm(m, n, p, mem),
+				"generic Eq. 1 pricing disagrees with the Eq. 9 closed form")
+			ck.checkTrue("closed-form/energy-eq10", alg, pt, "E",
+				relClose(gen.TotalEnergy(), core.MatMulEnergyClosedForm(m, n, mem), tol),
+				gen.TotalEnergy(), core.MatMulEnergyClosedForm(m, n, mem),
+				"generic Eq. 2 pricing disagrees with the Eq. 10 closed form")
+
+			// The paper's central theorem as a metamorphic transform: inside
+			// the region, p → k·p at fixed per-processor M divides T by k
+			// exactly and leaves E unchanged (perfect strong scaling using
+			// no additional energy).
+			for _, k := range []float64{2, 4, 8} {
+				if !bounds.InMatMulScalingRange(n, k*p, mem) {
+					continue
+				}
+				scaled := core.MatMulClassical(m, n, k*p, mem)
+				ck.checkTrue("metamorphic/strong-scaling-time", alg, pt, "T",
+					relClose(scaled.TotalTime()*k, gen.TotalTime(), tol),
+					scaled.TotalTime()*k, gen.TotalTime(),
+					fmt.Sprintf("T(%g·p)·%g ≠ T(p) at fixed M inside the scaling region", k, k))
+				ck.checkTrue("metamorphic/strong-scaling-energy", alg, pt, "E",
+					relClose(scaled.TotalEnergy(), gen.TotalEnergy(), tol),
+					scaled.TotalEnergy(), gen.TotalEnergy(),
+					fmt.Sprintf("E(%g·p) ≠ E(p) at fixed M inside the scaling region", k))
+			}
+
+			// Monotonicity: T and E are strictly increasing in n at fixed
+			// (p, M) — more work can never cost less time or energy.
+			bigger := core.MatMulClassical(m, n*2, p, mem)
+			ck.checkTrue("metamorphic/monotone-n-time", alg, pt, "T",
+				bigger.TotalTime() > gen.TotalTime(),
+				bigger.TotalTime(), gen.TotalTime(),
+				"T not monotone in n at fixed (p, M)")
+			ck.checkTrue("metamorphic/monotone-n-energy", alg, pt, "E",
+				bigger.TotalEnergy() > gen.TotalEnergy(),
+				bigger.TotalEnergy(), gen.TotalEnergy(),
+				"E not monotone in n at fixed (p, M)")
+
+			// The attained W equals the memory-aware lower bound inside the
+			// region (the algorithm is communication-optimal by construction)
+			// and never falls below the memory-independent floor n²/p^(2/3).
+			w := bounds.ClassicalMatMul(n, p, mem, m.MaxMsgWords).Words
+			ck.checkTrue("metamorphic/lower-bound", alg, pt, "W",
+				w >= n*n/math.Pow(p, 2.0/3.0)*(1-tol) || p > bounds.MatMulPMax(n, mem),
+				w, n*n/math.Pow(p, 2.0/3.0),
+				"attained W below the memory-independent bound inside the scaling range")
+		}
+	}
+
+	// Strassen-like algorithms: the FLM form evaluated at its maximum
+	// useful memory must equal the FUM form (Eq. 13 at M = n²/p^(2/ω0) is
+	// how Eq. 14 is derived).
+	for _, n := range []float64{1024, 4096} {
+		for _, p := range []float64{49, 343} {
+			pt := Point{N: int(n), P: int(p)}
+			omega := bounds.OmegaStrassen
+			mem := n * n / math.Pow(p, 2/omega)
+			flm := core.FastMatMulEnergyClosedForm(m, n, mem, omega)
+			fum := core.FastMatMulUnlimitedEnergyClosedForm(m, n, p, omega)
+			ck.checkTrue("closed-form/flm-fum", alg, pt, "E",
+				relClose(flm, fum, 1e-9),
+				flm, fum,
+				"Eq. 13 at M = n²/p^(2/ω0) disagrees with Eq. 14")
+			genFlm := core.FastMatMul(m, n, p, mem, omega)
+			ck.checkTrue("closed-form/energy-eq13", alg, pt, "E",
+				relClose(genFlm.TotalEnergy(), flm, 1e-9),
+				genFlm.TotalEnergy(), flm,
+				"generic Eq. 2 pricing disagrees with the Eq. 13 closed form")
+		}
+	}
+
+	// N-body: Eq. 15/16 against the generic path, plus the strong-scaling
+	// transform inside n/p ≤ M ≤ n/√p.
+	const f = 19 // interaction cost; any positive constant works
+	for _, n := range []float64{1e4, 1e6} {
+		for _, p := range []float64{100, 400} {
+			mem := 2 * n / p
+			pt := Point{N: int(n), P: int(p)}
+			if !bounds.InNBodyScalingRange(n, p, mem) {
+				ck.checkTrue("metamorphic/region", alg, pt, "M", false, mem, 0,
+					"n-body sweep point outside its scaling region")
+				continue
+			}
+			gen := core.NBody(m, n, p, mem, f)
+			ck.checkTrue("closed-form/time-eq15", alg, pt, "T",
+				relClose(gen.TotalTime(), core.NBodyTimeClosedForm(m, n, p, mem, f), tol),
+				gen.TotalTime(), core.NBodyTimeClosedForm(m, n, p, mem, f),
+				"generic Eq. 1 pricing disagrees with the Eq. 15 closed form")
+			ck.checkTrue("closed-form/energy-eq16", alg, pt, "E",
+				relClose(gen.TotalEnergy(), core.NBodyEnergyClosedForm(m, n, mem, f), tol),
+				gen.TotalEnergy(), core.NBodyEnergyClosedForm(m, n, mem, f),
+				"generic Eq. 2 pricing disagrees with the Eq. 16 closed form")
+			for _, k := range []float64{2, 4} {
+				if !bounds.InNBodyScalingRange(n, k*p, mem) {
+					continue
+				}
+				scaled := core.NBody(m, n, k*p, mem, f)
+				ck.checkTrue("metamorphic/strong-scaling-time", alg, pt, "T",
+					relClose(scaled.TotalTime()*k, gen.TotalTime(), tol),
+					scaled.TotalTime()*k, gen.TotalTime(),
+					fmt.Sprintf("n-body T(%g·p)·%g ≠ T(p) at fixed M", k, k))
+				ck.checkTrue("metamorphic/strong-scaling-energy", alg, pt, "E",
+					relClose(scaled.TotalEnergy(), gen.TotalEnergy(), tol),
+					scaled.TotalEnergy(), gen.TotalEnergy(),
+					fmt.Sprintf("n-body E(%g·p) ≠ E(p) at fixed M", k))
+			}
+		}
+	}
+
+	// FFT: the Section IV closed forms against the generic path. The FFT
+	// has no memory knob, so its metamorphic content is the tree-vs-naive
+	// dominance: the Bruck all-to-all never sends more messages.
+	for _, n := range []float64{1 << 16, 1 << 20} {
+		for _, p := range []float64{64, 1024} {
+			pt := Point{N: int(n), P: int(p)}
+			gen := core.FFT(m, n, p, true)
+			ck.checkTrue("closed-form/fft-time", alg, pt, "T",
+				relClose(gen.TotalTime(), core.FFTTimeClosedForm(m, n, p), tol),
+				gen.TotalTime(), core.FFTTimeClosedForm(m, n, p),
+				"generic FFT pricing disagrees with the Section IV time closed form")
+			tree := bounds.FFTTree(n, p)
+			naive := bounds.FFTNaive(n, p)
+			ck.checkTrue("metamorphic/fft-tree-latency", alg, pt, "S",
+				tree.Msgs <= naive.Msgs,
+				tree.Msgs, naive.Msgs,
+				"tree all-to-all sends more messages than the naive one")
+			ck.checkTrue("metamorphic/fft-naive-bandwidth", alg, pt, "W",
+				naive.Words <= tree.Words,
+				naive.Words, tree.Words,
+				"naive all-to-all moves more words than the tree one")
+		}
+	}
+
+	// Figure 3 consistency: W·p is flat (perfect strong scaling) up to
+	// p = n³/M^(3/2) and strictly increasing beyond it.
+	{
+		n, mem := 4096.0, 2*4096.0*4096.0/64.0
+		pt := Point{N: int(n)}
+		pmax := bounds.MatMulPMax(n, mem)
+		inA := bounds.ClassicalWordsAnyMemory(n, 2*bounds.MatMulPMin(n, mem), mem) * 2 * bounds.MatMulPMin(n, mem)
+		inB := bounds.ClassicalWordsAnyMemory(n, pmax/2, mem) * pmax / 2
+		ck.checkTrue("metamorphic/fig3-flat", alg, pt, "W",
+			relClose(inA, inB, 1e-9),
+			inA, inB,
+			"W·p not flat inside the perfect-strong-scaling range")
+		outA := bounds.ClassicalWordsAnyMemory(n, 2*pmax, mem) * 2 * pmax
+		ck.checkTrue("metamorphic/fig3-growth", alg, pt, "W",
+			outA > inB*(1+1e-9),
+			outA, inB,
+			"W·p does not grow beyond the perfect-strong-scaling range")
+	}
+
+	_ = cfg
+}

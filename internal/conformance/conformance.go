@@ -1,0 +1,306 @@
+// Package conformance is the machine-checkable contract between the
+// goroutine runtime in internal/sim and the paper's closed forms in
+// internal/core and internal/bounds. It sweeps every distributed algorithm
+// in the repository over a grid of (n, p, c, M) points and verifies three
+// property families against the live simulator:
+//
+//   - differential: the measured per-rank F/W/S/M counters and the priced
+//     T/E agree with the analytic expressions to exact or stated tolerance
+//     (exact for the pricing identities the clock semantics guarantee,
+//     pinned ratio bands for the order-notation cost shapes);
+//   - metamorphic: the paper's invariants hold under parameter transforms —
+//     inside the strong-scaling region p→k·p at fixed per-processor memory
+//     divides T by k and holds total E constant, W never drops below the
+//     communication lower bound, T and E are monotone in n, and
+//     dense-vs-sparse wiring plus observed-vs-blind runs are bit-identical;
+//   - replay: seeded random fault plans re-run twice produce identical
+//     results — the determinism every other guarantee stands on.
+//
+// The engine is a property/table-test core usable from go test (see
+// conformance_test.go), a fuzz target (FuzzConformance) and a CLI
+// (cmd/conformance) that emits a machine-readable violation report.
+// docs/CONFORMANCE.md catalogues the properties and explains how to extend
+// the sweep when adding an algorithm.
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"perfscale/internal/machine"
+	"perfscale/internal/sim"
+)
+
+// Level selects the sweep depth.
+type Level int
+
+// Sweep depths.
+const (
+	// Quick is the CI gate: every algorithm and property family at small
+	// points, a few seconds of wall time.
+	Quick Level = iota
+	// Full widens the grids (larger n, p, more replication factors).
+	Full
+)
+
+// String returns "quick" or "full".
+func (l Level) String() string {
+	if l == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Point is one sweep coordinate. Not every field is meaningful for every
+// algorithm: matmul uses (N, Q, C), CAPS uses (N, K), n-body uses (N, P, C),
+// FFT uses (N, P, Tree).
+type Point struct {
+	N    int  `json:"n"`
+	P    int  `json:"p"`
+	Q    int  `json:"q,omitempty"`
+	C    int  `json:"c,omitempty"`
+	K    int  `json:"k,omitempty"`
+	Tree bool `json:"tree,omitempty"`
+}
+
+// String renders the point compactly for reports.
+func (pt Point) String() string {
+	s := fmt.Sprintf("n=%d p=%d", pt.N, pt.P)
+	if pt.Q > 0 {
+		s += fmt.Sprintf(" q=%d", pt.Q)
+	}
+	if pt.C > 0 {
+		s += fmt.Sprintf(" c=%d", pt.C)
+	}
+	if pt.K > 0 {
+		s += fmt.Sprintf(" k=%d", pt.K)
+	}
+	if pt.Tree {
+		s += " tree"
+	}
+	return s
+}
+
+// Band is a stated tolerance interval on a measured/model ratio. The bands
+// in algorithms.go are pinned golden values: the measured constants of the
+// implementations, with enough slack for grid effects across the sweep but
+// tight enough that a mispriced operation or a lost message moves a ratio
+// out of its band.
+type Band struct {
+	Lo, Hi float64
+}
+
+// contains reports whether ratio lies in [Lo, Hi].
+func (b Band) contains(ratio float64) bool { return ratio >= b.Lo && ratio <= b.Hi }
+
+// exactBand is the band used for identities that must hold to floating
+// accuracy (summation-order drift only).
+var exactBand = Band{1 - 1e-9, 1 + 1e-9}
+
+// Violation is one failed property check.
+type Violation struct {
+	// Property names the check ("differential/send-pricing",
+	// "metamorphic/strong-scaling-energy", "replay/per-rank-stats", ...).
+	Property string `json:"property"`
+	// Algorithm names the algorithm under test; "closed-form" for checks
+	// on the analytic expressions alone.
+	Algorithm string `json:"algorithm"`
+	// Point is the sweep coordinate, rendered by Point.String.
+	Point string `json:"point"`
+	// Quantity is the model quantity involved (F, W, S, M, T, E) when the
+	// check concerns one.
+	Quantity string `json:"quantity,omitempty"`
+	// Got and Want are the two sides of the failed comparison.
+	Got  float64 `json:"got"`
+	Want float64 `json:"want"`
+	// Detail explains the failure in prose.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s [%s %s]", v.Property, v.Algorithm, v.Point)
+	if v.Quantity != "" {
+		s += " " + v.Quantity
+	}
+	return fmt.Sprintf("%s: got %g, want %g — %s", s, v.Got, v.Want, v.Detail)
+}
+
+// Report is the machine-readable outcome of a sweep.
+type Report struct {
+	Machine    string      `json:"machine"`
+	Level      string      `json:"level"`
+	Points     int         `json:"points"`
+	Checks     int         `json:"checks"`
+	Violations []Violation `json:"violations"`
+	// WallSeconds is filled by callers that time the sweep (cmd/bench
+	// records it into BENCH_sim.json so the gate's cost is tracked).
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Ok reports whether the sweep found no violations.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Config parameterises a sweep.
+type Config struct {
+	// Machine prices the runs; zero value means machine.SimDefault().
+	Machine machine.Params
+	// Level selects the sweep depth.
+	Level Level
+	// Algorithms restricts the sweep to the named algorithms (see
+	// AlgorithmNames); empty means all.
+	Algorithms []string
+	// Seeds keys the fault-replay plans; empty means DefaultSeeds.
+	Seeds []uint64
+	// MutateCost, when set, perturbs the sim.Cost derived from Machine
+	// before every run. It exists for negative testing: the expectations
+	// are still computed from the unmutated Machine, so a mutation that
+	// matters (a mispriced Recv, an inflated βt) must surface as
+	// violations. Production sweeps leave it nil.
+	MutateCost func(*sim.Cost)
+	// SkipSim disables the simulator-backed families (differential,
+	// sim-level metamorphic, replay), leaving only the closed-form checks.
+	// The fuzz target uses it to keep per-input cost bounded.
+	SkipSim bool
+	// Verbose, when non-nil, receives one line per band check with the
+	// measured ratio — the input to the band-calibration procedure in
+	// docs/CONFORMANCE.md (cmd/conformance -v wires it to stderr).
+	Verbose io.Writer
+}
+
+// DefaultSeeds are the fault-plan seeds replayed when Config.Seeds is empty.
+var DefaultSeeds = []uint64{1, 0xDEADBEEF, 0x9E3779B97F4A7C15}
+
+// checker accumulates violations and check counts for one sweep.
+type checker struct {
+	m       machine.Params
+	rep     *Report
+	verbose io.Writer
+}
+
+// violate records a failed check.
+func (c *checker) violate(v Violation) { c.rep.Violations = append(c.rep.Violations, v) }
+
+// checkBand verifies got/want ∈ band (want > 0) and records a violation
+// otherwise. Every call counts as one check.
+func (c *checker) checkBand(property, alg string, pt Point, quantity string, got, want float64, band Band, detail string) {
+	c.rep.Checks++
+	if want == 0 {
+		if got == 0 {
+			return
+		}
+		c.violate(Violation{Property: property, Algorithm: alg, Point: pt.String(), Quantity: quantity,
+			Got: got, Want: want, Detail: detail + " (model is zero, measurement is not)"})
+		return
+	}
+	ratio := got / want
+	if c.verbose != nil {
+		fmt.Fprintf(c.verbose, "ratio %-40s %-18s %-28s %-2s %.6g in [%g, %g]\n",
+			property, alg, pt, quantity, ratio, band.Lo, band.Hi)
+	}
+	if !band.contains(ratio) {
+		c.violate(Violation{Property: property, Algorithm: alg, Point: pt.String(), Quantity: quantity,
+			Got: got, Want: want,
+			Detail: fmt.Sprintf("%s: ratio %.6g outside band [%g, %g]", detail, ratio, band.Lo, band.Hi)})
+	}
+}
+
+// checkTrue verifies a predicate.
+func (c *checker) checkTrue(property, alg string, pt Point, quantity string, ok bool, got, want float64, detail string) {
+	c.rep.Checks++
+	if !ok {
+		c.violate(Violation{Property: property, Algorithm: alg, Point: pt.String(), Quantity: quantity,
+			Got: got, Want: want, Detail: detail})
+	}
+}
+
+// cost derives the simulated cost from the machine parameters, applying the
+// negative-testing mutation when configured.
+func (cfg *Config) cost() sim.Cost {
+	c := sim.Cost{
+		GammaT:      cfg.Machine.GammaT,
+		BetaT:       cfg.Machine.BetaT,
+		AlphaT:      cfg.Machine.AlphaT,
+		MaxMsgWords: int(cfg.Machine.MaxMsgWords),
+	}
+	if cfg.MutateCost != nil {
+		cfg.MutateCost(&c)
+	}
+	return c
+}
+
+// Sweep runs every property family at every grid point and returns the
+// violation report. An error is returned only for harness failures (an
+// algorithm refusing to run); model disagreements are violations, not
+// errors.
+func Sweep(cfg Config) (*Report, error) {
+	if cfg.Machine.Name == "" {
+		cfg.Machine = machine.SimDefault()
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = DefaultSeeds
+	}
+	rep := &Report{Machine: cfg.Machine.Name, Level: cfg.Level.String(), Violations: []Violation{}}
+	ck := &checker{m: cfg.Machine, rep: rep, verbose: cfg.Verbose}
+
+	checkClosedForms(ck, cfg)
+
+	if !cfg.SkipSim {
+		for _, alg := range selectAlgorithms(cfg.Algorithms) {
+			for _, pt := range alg.points(cfg.Level) {
+				rep.Points++
+				run, err := alg.run(cfg.cost(), cfg.Machine, pt)
+				if err != nil {
+					return rep, fmt.Errorf("conformance: %s %s: %w", alg.name, pt, err)
+				}
+				checkDifferential(ck, alg.name, pt, run)
+				checkLowerBound(ck, alg.name, pt, run)
+			}
+		}
+		if err := checkSimMetamorphic(ck, cfg); err != nil {
+			return rep, err
+		}
+		if err := checkReplay(ck, cfg); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// AlgorithmNames lists the algorithms the sweep covers, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithms))
+	for _, a := range algorithms {
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// selectAlgorithms filters the registry by name; empty selects everything.
+func selectAlgorithms(names []string) []algorithmDef {
+	if len(names) == 0 {
+		return algorithms
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []algorithmDef
+	for _, a := range algorithms {
+		if want[a.name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// relClose reports |got−want| ≤ tol·max(|got|, |want|, floor).
+func relClose(got, want, tol float64) bool {
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	if scale == 0 {
+		return true
+	}
+	return math.Abs(got-want) <= tol*scale
+}

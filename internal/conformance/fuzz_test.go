@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/core"
+	"perfscale/internal/machine"
+	"perfscale/internal/matmul"
+	"perfscale/internal/matrix"
+	"perfscale/internal/sim"
+)
+
+// FuzzConformance throws fuzzer-chosen sweep coordinates and fault seeds at
+// the two cheapest property families:
+//
+//   - the closed-form layer at an arbitrary (n, p, M) point inside the
+//     scaling region: generic Eq. 1/2 pricing must match the Eq. 9/10
+//     closed forms, and the strong-scaling transform must hold exactly —
+//     the fixed grids in closedform.go become fuzzer-explored;
+//   - the replay family at an arbitrary seed: a tiny 2.5D run under a
+//     seeded chaos plan re-run twice must be bit-identical.
+//
+// The sim point is pinned small (n=16, p=8) so each input stays well under
+// a millisecond and the 10-second CI smoke explores thousands of seeds.
+func FuzzConformance(f *testing.F) {
+	f.Add(uint16(256), uint8(4), uint8(2), uint8(0), uint64(1))
+	f.Add(uint16(1024), uint8(8), uint8(4), uint8(1), uint64(0xDEADBEEF))
+	f.Add(uint16(4096), uint8(16), uint8(1), uint8(2), uint64(0x9E3779B97F4A7C15))
+	f.Fuzz(func(t *testing.T, nRaw uint16, pRaw, memRaw, machineRaw uint8, seed uint64) {
+		n := float64(64 + int(nRaw)) // 64 ≤ n < 65600
+		p := float64(4 + int(pRaw)%1021)
+		mem := float64(1+int(memRaw)%8) * n * n / p
+		var m machine.Params
+		switch machineRaw % 3 {
+		case 0:
+			m = machine.SimDefault()
+		case 1:
+			m = machine.Jaketown()
+		default:
+			m = machine.Illustrative()
+		}
+
+		fuzzClosedForm(t, m, n, p, mem)
+		fuzzReplay(t, seed)
+	})
+}
+
+// fuzzClosedForm checks the analytic identities at one fuzzer-chosen point.
+func fuzzClosedForm(t *testing.T, m machine.Params, n, p, mem float64) {
+	if core.CheckMatMulRange(n, p, mem) != nil {
+		return // outside the scaling region: the forms don't apply
+	}
+	const tol = 1e-12
+	gen := core.MatMulClassical(m, n, p, mem)
+	if tcf := core.MatMulTimeClosedForm(m, n, p, mem); !relClose(gen.TotalTime(), tcf, tol) {
+		t.Errorf("n=%g p=%g M=%g: generic T %g vs Eq. 9 %g", n, p, mem, gen.TotalTime(), tcf)
+	}
+	if ecf := core.MatMulEnergyClosedForm(m, n, mem); !relClose(gen.TotalEnergy(), ecf, tol) {
+		t.Errorf("n=%g p=%g M=%g: generic E %g vs Eq. 10 %g", n, p, mem, gen.TotalEnergy(), ecf)
+	}
+	if !bounds.InMatMulScalingRange(n, 2*p, mem) {
+		return
+	}
+	scaled := core.MatMulClassical(m, n, 2*p, mem)
+	if !relClose(scaled.TotalTime()*2, gen.TotalTime(), tol) {
+		t.Errorf("n=%g p=%g M=%g: T(2p)·2 = %g ≠ T(p) = %g", n, p, mem, scaled.TotalTime()*2, gen.TotalTime())
+	}
+	if !relClose(scaled.TotalEnergy(), gen.TotalEnergy(), tol) {
+		t.Errorf("n=%g p=%g M=%g: E(2p) = %g ≠ E(p) = %g", n, p, mem, scaled.TotalEnergy(), gen.TotalEnergy())
+	}
+	if math.IsNaN(gen.TotalTime()) || math.IsInf(gen.TotalTime(), 0) {
+		t.Errorf("n=%g p=%g M=%g: non-finite T", n, p, mem)
+	}
+}
+
+// fuzzReplay runs a tiny faulted 2.5D multiply twice under one seed and
+// requires bitwise agreement — the replay property at fuzzer-chosen seeds.
+func fuzzReplay(t *testing.T, seed uint64) {
+	const nb = 16
+	a := matrix.Random(nb, nb, 41)
+	b := matrix.Random(nb, nb, 42)
+	run := func() *matmul.RunResult {
+		cost := sim.Cost{GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6}
+		cost.Faults = chaosPlan(seed)
+		res, err := matmul.TwoPointFiveD(cost, 2, 2, a, b)
+		if err != nil {
+			t.Fatalf("seed %#x: faulted run failed: %v", seed, err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	if rank, same := statsIdentical(first.Sim, second.Sim); !same {
+		t.Errorf("seed %#x: per-rank stats differ at rank %d between identical runs", seed, rank)
+	}
+	if d := first.C.MaxAbsDiff(second.C); d != 0 {
+		t.Errorf("seed %#x: numerics differ by %g between identical runs", seed, d)
+	}
+}

@@ -1,0 +1,152 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized properties of the partitioner and subset search: invariants
+// that must hold for every ensemble, complementing the constructed cases in
+// hetero_test.go.
+
+// drawProc builds a random but valid processor.
+func drawProc(rng *rand.Rand) Proc {
+	return Proc{
+		Name:   "r",
+		GammaT: 1e-12 * (1 + 99*rng.Float64()),
+		BetaT:  1e-10 * (1 + 9*rng.Float64()),
+		AlphaT: 1e-7 * (1 + 9*rng.Float64()),
+		GammaE: 1e-10 * (1 + 9*rng.Float64()),
+		BetaE:  1e-10 * rng.Float64(),
+		AlphaE: 1e-8 * rng.Float64(),
+		DeltaE: 1e-9 * rng.Float64(), EpsilonE: rng.Float64(),
+		MemWords: float64(int(1) << (20 + rng.Intn(10))), MaxMsgWords: 1 << 20,
+	}
+}
+
+func drawEnsemble(rng *rand.Rand) []Proc {
+	procs := make([]Proc, 1+rng.Intn(6))
+	for i := range procs {
+		procs[i] = drawProc(rng)
+	}
+	return procs
+}
+
+func TestPartitionPropertyInvariants(t *testing.T) {
+	const work = 1e12
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := drawEnsemble(rng)
+		part, err := PartitionFlops(procs, work)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Shares conserve the workload and are all positive.
+		sum := 0.0
+		for i, f := range part.Shares {
+			if f <= 0 {
+				t.Errorf("seed %d: share %d = %g not positive", seed, i, f)
+			}
+			sum += f
+		}
+		if !approx(sum, work, 1e-9) {
+			t.Errorf("seed %d: shares sum to %g, want %g", seed, sum, work)
+		}
+		// Every processor finishes at the common T.
+		for i, p := range procs {
+			if !approx(part.Shares[i]*p.effSecondsPerFlop(), part.Time, 1e-9) {
+				t.Errorf("seed %d: processor %d misses the common finish", seed, i)
+			}
+		}
+		// Doubling the workload doubles T and every share (the model is
+		// linear in F).
+		double, err := PartitionFlops(procs, 2*work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(double.Time, 2*part.Time, 1e-9) {
+			t.Errorf("seed %d: T(2F) = %g, want %g", seed, double.Time, 2*part.Time)
+		}
+	}
+}
+
+func TestPartitionPropertyPermutationInvariant(t *testing.T) {
+	const work = 1e12
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := drawEnsemble(rng)
+		part, err := PartitionFlops(procs, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(len(procs))
+		shuffled := make([]Proc, len(procs))
+		for i, j := range perm {
+			shuffled[i] = procs[j]
+		}
+		part2, err := PartitionFlops(shuffled, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(part2.Time, part.Time, 1e-12) || !approx(part2.Energy, part.Energy, 1e-12) {
+			t.Errorf("seed %d: partition not permutation-invariant (T %g vs %g, E %g vs %g)",
+				seed, part2.Time, part.Time, part2.Energy, part.Energy)
+		}
+		for i, j := range perm {
+			if !approx(part2.Shares[i], part.Shares[j], 1e-12) {
+				t.Errorf("seed %d: share of processor %d changed under permutation", seed, j)
+			}
+		}
+	}
+}
+
+func TestPartitionPropertyMoreProcsNeverSlower(t *testing.T) {
+	const work = 1e12
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := drawEnsemble(rng)
+		full, err := PartitionFlops(procs, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(procs) < 2 {
+			continue
+		}
+		sub, err := PartitionFlops(procs[:len(procs)-1], work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Time >= sub.Time {
+			t.Errorf("seed %d: adding a processor did not shorten the run (%g vs %g)",
+				seed, full.Time, sub.Time)
+		}
+	}
+}
+
+func TestBestSubsetPropertyNeverWorseThanFull(t *testing.T) {
+	const work = 1e12
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := drawEnsemble(rng)
+		full, err := PartitionFlops(procs, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, best, err := BestSubset(procs, work, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) == 0 || len(idx) > len(procs) {
+			t.Fatalf("seed %d: nonsense subset %v", seed, idx)
+		}
+		// The search includes the full prefix, so it can never return more
+		// energy than using everything (up to its own tie tolerance).
+		if best.Energy > full.Energy*(1+1e-9) {
+			t.Errorf("seed %d: best subset costs %g > full ensemble %g", seed, best.Energy, full.Energy)
+		}
+		// A deadline at the full-ensemble time is always feasible.
+		if _, _, err := BestSubset(procs, work, full.Time*(1+1e-9)); err != nil {
+			t.Errorf("seed %d: full-ensemble deadline reported infeasible: %v", seed, err)
+		}
+	}
+}

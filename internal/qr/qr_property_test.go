@@ -1,0 +1,120 @@
+package qr
+
+import (
+	"math/rand"
+	"testing"
+
+	"perfscale/internal/matrix"
+)
+
+// Randomized properties of the factorization, complementing the fixed-shape
+// tests in qr_test.go: each seed draws a shape and checks invariants that
+// must hold for every tall matrix, not just the hand-picked ones.
+
+// drawShape picks a TSQR-compatible (m, n, p): p a power of two, m a
+// multiple of p with tall local blocks.
+func drawShape(rng *rand.Rand) (m, n, p int) {
+	p = 1 << rng.Intn(4)    // 1..8
+	n = 1 + rng.Intn(6)     // 1..6
+	rows := n + rng.Intn(8) // local block height ≥ n
+	return rows * p, n, p
+}
+
+func TestTSQRPropertyMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, p := drawShape(rng)
+		a := matrix.Random(m, n, seed+1000)
+		res, err := TSQR(zeroCost, p, a)
+		if err != nil {
+			t.Fatalf("seed %d (%dx%d p=%d): %v", seed, m, n, p, err)
+		}
+		_, want, err := Householder(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.R.MaxAbsDiff(want); d > 1e-9*float64(m) {
+			t.Errorf("seed %d (%dx%d p=%d): TSQR R differs from serial by %g", seed, m, n, p, d)
+		}
+	}
+}
+
+func TestTSQRPropertyRIndependentOfP(t *testing.T) {
+	// R is a function of A alone: any rank count must produce the same
+	// factor (up to roundoff), because the reduction tree only reassociates
+	// the same orthogonal eliminations.
+	const m, n = 48, 4
+	a := matrix.Random(m, n, 555)
+	var first *matrix.Dense
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := TSQR(zeroCost, p, a)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if first == nil {
+			first = res.R
+			continue
+		}
+		if d := res.R.MaxAbsDiff(first); d > 1e-9*float64(m) {
+			t.Errorf("p=%d: R differs from p=1 by %g", p, d)
+		}
+	}
+}
+
+func TestTSQRPropertyDeterministic(t *testing.T) {
+	const m, n, p = 64, 5, 8
+	a := matrix.Random(m, n, 77)
+	r1, err := TSQR(zeroCost, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := TSQR(zeroCost, p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r1.R.MaxAbsDiff(r2.R); d != 0 {
+		t.Errorf("two identical runs differ by %g", d)
+	}
+}
+
+func TestHouseholderPropertyScaling(t *testing.T) {
+	// QR(s·A) = (±Q, |s|·R): with the non-negative-diagonal convention the
+	// R factor scales by |s| exactly as a mathematical identity; roundoff
+	// only enters through the two independent factorizations.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(20)
+		n := 1 + rng.Intn(4)
+		if n > m {
+			n = m
+		}
+		s := -3.0 + 6.0*rng.Float64()
+		if s == 0 {
+			s = 1
+		}
+		a := matrix.Random(m, n, seed+2000)
+		scaled := a.Clone()
+		for i := range scaled.Data {
+			scaled.Data[i] *= s
+		}
+		_, r, err := Householder(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rs, err := Householder(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs := s
+		if abs < 0 {
+			abs = -abs
+		}
+		want := r.Clone()
+		for i := range want.Data {
+			want.Data[i] *= abs
+		}
+		if d := rs.MaxAbsDiff(want); d > 1e-9*float64(m)*(1+abs) {
+			t.Errorf("seed %d: R(%g·A) deviates from |%g|·R(A) by %g", seed, s, s, d)
+		}
+	}
+}
