@@ -27,6 +27,7 @@ import (
 	"perfscale/internal/matmul"
 	"perfscale/internal/matrix"
 	"perfscale/internal/obs"
+	"perfscale/internal/resilience"
 	"perfscale/internal/sim"
 )
 
@@ -81,12 +82,34 @@ type traceOverhead struct {
 	OverheadFrac  float64 `json:"overhead_frac"`
 }
 
+// recoveryOverhead records the price of self-healing at scale: the same
+// SUMMA-over-ARQ point run clean and under a seeded silent-drop plan, with
+// the protocol counters and the recovered run's T/E surcharge. The product
+// must stay bit-identical — retransmission changes when work happens, never
+// what is computed.
+type recoveryOverhead struct {
+	Algorithm       string  `json:"algorithm"`
+	P               int     `json:"p"`
+	DropProb        float64 `json:"drop_prob"`
+	Retransmits     int     `json:"retransmits"`
+	Timeouts        int     `json:"timeouts"`
+	OptimisticSends int     `json:"optimistic_sends"`
+	BitIdentical    bool    `json:"bit_identical"`
+	CleanWallS      float64 `json:"clean_wall_seconds"`
+	ChaosWallS      float64 `json:"chaos_wall_seconds"`
+	CleanSimT       float64 `json:"clean_sim_time_s"`
+	ChaosSimT       float64 `json:"chaos_sim_time_s"`
+	CleanEnergyJ    float64 `json:"clean_energy_joules"`
+	ChaosEnergyJ    float64 `json:"chaos_energy_joules"`
+}
+
 type report struct {
-	Machine       string         `json:"machine"`
-	N             int            `json:"n"`
-	Runs          []runRecord    `json:"runs"`
-	Comparisons   []comparison   `json:"dense_vs_sparse"`
-	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
+	Machine       string            `json:"machine"`
+	N             int               `json:"n"`
+	Runs          []runRecord       `json:"runs"`
+	Comparisons   []comparison      `json:"dense_vs_sparse"`
+	TraceOverhead *traceOverhead    `json:"trace_overhead,omitempty"`
+	Recovery      *recoveryOverhead `json:"recovery_overhead,omitempty"`
 	// Conformance is the quick model-conformance sweep (the CI gate), with
 	// its wall time, so the gate's cost is tracked alongside the simulator's
 	// own scaling numbers.
@@ -291,6 +314,58 @@ func main() {
 		}
 		fmt.Printf("trace overhead p=%d: plain %.3fs, ring-observed %.3fs (median paired ratio %+.1f%%, %d events)\n",
 			rep.TraceOverhead.P, plain, observed, 100*rep.TraceOverhead.OverheadFrac, ring.Total())
+	}
+
+	// Recovery overhead at p = 256: SUMMA over the ARQ endpoints, clean vs
+	// a seeded plan of silent drops. Every masked drop costs about one
+	// watchdog window of real time (timers fire at quiescence), so the drop
+	// rate is kept low and the chaos run gets a short window.
+	{
+		const q, dropProb = 16, 0.001
+		arqCfg := resilience.ARQDefaults(cost, (*n/q)*(*n/q))
+		start := time.Now()
+		clean, err := resilience.SUMMAARQ(cost, q, arqCfg, a, b)
+		cleanWall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery clean baseline q=%d: %v\n", q, err)
+			os.Exit(1)
+		}
+		chaosCost := cost
+		chaosCost.WatchdogTimeout = 15 * time.Millisecond
+		chaosCost.Faults = &sim.FaultPlan{
+			Seed:  23,
+			Links: []sim.LinkFault{{Src: -1, Dst: -1, DropProb: dropProb}},
+		}
+		start = time.Now()
+		chaos, err := resilience.SUMMAARQ(chaosCost, q, arqCfg, a, b)
+		chaosWall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery chaos run q=%d: %v\n", q, err)
+			os.Exit(1)
+		}
+		arqRep := chaos.Report()
+		identical := chaos.C.MaxAbsDiff(clean.C) == 0
+		rep.Recovery = &recoveryOverhead{
+			Algorithm: "summa-arq", P: q * q, DropProb: dropProb,
+			Retransmits:     arqRep.Retransmits,
+			Timeouts:        arqRep.Timeouts,
+			OptimisticSends: arqRep.OptimisticSends,
+			BitIdentical:    identical,
+			CleanWallS:      cleanWall,
+			ChaosWallS:      chaosWall,
+			CleanSimT:       clean.Sim.Time(),
+			ChaosSimT:       chaos.Sim.Time(),
+			CleanEnergyJ:    core.PriceSim(m, clean.Sim).Total(),
+			ChaosEnergyJ:    core.PriceSim(m, chaos.Sim).Total(),
+		}
+		fmt.Printf("recovery p=%d drop=%g: retx=%d optimistic=%d T %.4gs->%.4gs E %.4gJ->%.4gJ (wall %.3fs->%.3fs)\n",
+			q*q, dropProb, arqRep.Retransmits, arqRep.OptimisticSends,
+			clean.Sim.Time(), chaos.Sim.Time(),
+			rep.Recovery.CleanEnergyJ, rep.Recovery.ChaosEnergyJ, cleanWall, chaosWall)
+		if !identical {
+			fmt.Fprintf(os.Stderr, "recovery p=%d: drop-masked product DIVERGED from the clean run\n", q*q)
+			os.Exit(1)
+		}
 	}
 
 	if *big {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The test binary re-executes itself with FAULTTOL_RUN_MAIN=1 so main()
+// runs exactly as shipped, flag parsing and exit codes included.
+func TestMain(m *testing.M) {
+	if os.Getenv("FAULTTOL_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runFaulttol(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FAULTTOL_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("faulttol %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestDefaultPrintsEverything(t *testing.T) {
+	out := runFaulttol(t, "-n", "48")
+	for _, want := range []string{
+		"E23a: energy-priced ABFT 2.5D matmul",
+		"E23b: energy-priced checkpoint/rollback stencil",
+		"E23c: self-healing SUMMA over ARQ",
+		"E23d: virtual-time heartbeat failure detection",
+		"E23e: energy-priced recovery controller",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default output missing %q", want)
+		}
+	}
+}
+
+func TestDropsMasksSilently(t *testing.T) {
+	out := runFaulttol(t, "-drops", "-n", "48")
+	if strings.Contains(out, "E23a") || strings.Contains(out, "E23d") {
+		t.Errorf("-drops leaked other experiments:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered") {
+		t.Errorf("no drop scenario recovered:\n%s", out)
+	}
+	if strings.Contains(out, "OUTPUT DIVERGED") {
+		t.Errorf("a recovered run diverged from the fault-free product:\n%s", out)
+	}
+}
+
+func TestDetectorVerdicts(t *testing.T) {
+	out := runFaulttol(t, "-detector")
+	if strings.Contains(out, "UNEXPECTED VERDICT") {
+		t.Errorf("a detection scenario produced the wrong verdict:\n%s", out)
+	}
+	for _, want := range []string{"peer dies (exit observed)", "peer wedges silently", "long compute with heartbeats"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detector output missing scenario %q", want)
+		}
+	}
+}
+
+func TestRecoverMarksArgmin(t *testing.T) {
+	out := runFaulttol(t, "-recover")
+	if n := strings.Count(out, "<== argmin E"); n != 4 {
+		t.Errorf("want one argmin marker per context (4), got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "needs a live replica") {
+		t.Errorf("infeasible strategies should carry their reason:\n%s", out)
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	out := runFaulttol(t, "-recover", "-csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV output too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "n,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	if strings.Contains(out, "---") {
+		t.Error("CSV mode leaked table rendering")
+	}
+}
+
+// TestDropsDeterministic is the replay guarantee at the CLI surface: the
+// seeded chaos plans must reproduce every retransmit count and priced
+// joule bit for bit across runs.
+func TestDropsDeterministic(t *testing.T) {
+	if runFaulttol(t, "-drops", "-n", "48") != runFaulttol(t, "-drops", "-n", "48") {
+		t.Error("two -drops runs differ")
+	}
+}
+
+// TestBadMachineExitStatus checks the subprocess exit contract: an
+// unresolvable machine preset must exit non-zero with a diagnostic.
+func TestBadMachineExitStatus(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-machine", "no-such-preset")
+	cmd.Env = append(os.Environ(), "FAULTTOL_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown machine preset should fail, got:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("want exit code 2, got %v", err)
+	}
+}

@@ -14,7 +14,11 @@
 //     communication lower bound, T and E are monotone in n, and
 //     dense-vs-sparse wiring plus observed-vs-blind runs are bit-identical;
 //   - replay: seeded random fault plans re-run twice produce identical
-//     results — the determinism every other guarantee stands on.
+//     results — the determinism every other guarantee stands on;
+//   - recovery: the self-healing runtime masks seeded silent drops with a
+//     product bit-identical to the fault-free run, T/E overhead inside
+//     pinned bands, bitwise-deterministic replays, and an energy-priced
+//     recovery controller whose choice is the argmin of its own pricing.
 //
 // The engine is a property/table-test core usable from go test (see
 // conformance_test.go), a fuzz target (FuzzConformance) and a CLI
@@ -245,6 +249,7 @@ func Sweep(cfg Config) (*Report, error) {
 	ck := &checker{m: cfg.Machine, rep: rep, verbose: cfg.Verbose}
 
 	checkClosedForms(ck, cfg)
+	checkRecoveryController(ck)
 
 	if !cfg.SkipSim {
 		for _, alg := range selectAlgorithms(cfg.Algorithms) {
@@ -262,6 +267,9 @@ func Sweep(cfg Config) (*Report, error) {
 			return rep, err
 		}
 		if err := checkReplay(ck, cfg); err != nil {
+			return rep, err
+		}
+		if err := checkRecovery(ck, cfg); err != nil {
 			return rep, err
 		}
 	}

@@ -24,6 +24,7 @@ func (o *blindObserver) OnPhase(int, string, float64) { o.events.Add(1) }
 func (o *blindObserver) OnFault(sim.FaultEvent)       { o.events.Add(1) }
 func (o *blindObserver) OnCrash(sim.CrashEvent)       { o.events.Add(1) }
 func (o *blindObserver) OnDeadlock(sim.DeadlockEvent) { o.events.Add(1) }
+func (o *blindObserver) OnTimer(sim.TimerEvent)       { o.events.Add(1) }
 
 // checkSimMetamorphic runs the simulator-level metamorphic family:
 //

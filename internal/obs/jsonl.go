@@ -75,6 +75,9 @@ func (jw *JSONLWriter) OnFault(ev sim.FaultEvent) { jw.write(faultEvent(ev)) }
 // OnCrash implements sim.Observer.
 func (jw *JSONLWriter) OnCrash(ev sim.CrashEvent) { jw.write(crashEvent(ev)) }
 
+// OnTimer implements sim.Observer.
+func (jw *JSONLWriter) OnTimer(ev sim.TimerEvent) { jw.write(timerEvent(ev)) }
+
 // OnDeadlock implements sim.Observer.
 func (jw *JSONLWriter) OnDeadlock(ev sim.DeadlockEvent) { jw.write(deadlockEvent(ev)) }
 

@@ -30,6 +30,7 @@ const (
 	KindFault
 	KindCrash
 	KindDeadlock
+	KindTimer
 )
 
 // String names the kind.
@@ -51,6 +52,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindDeadlock:
 		return "deadlock"
+	case KindTimer:
+		return "timer"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -112,6 +115,14 @@ func crashEvent(ev sim.CrashEvent) Event {
 	return Event{Kind: KindCrash, Rank: ev.Rank, Peer: -1, Start: ev.Time, End: ev.Time, Name: name}
 }
 
+func timerEvent(ev sim.TimerEvent) Event {
+	return Event{
+		Kind: KindTimer, Rank: ev.Rank, Peer: ev.Peer,
+		Start: ev.Time, End: ev.Time,
+		Name: "timer-" + ev.Op + "-" + ev.Kind.String(),
+	}
+}
+
 func deadlockEvent(ev sim.DeadlockEvent) Event {
 	return Event{
 		Kind: KindDeadlock, Rank: ev.Err.Rank, Peer: ev.Err.Peer,
@@ -167,6 +178,12 @@ func (c *Collector) OnFault(ev sim.FaultEvent) {
 // OnCrash implements sim.Observer.
 func (c *Collector) OnCrash(ev sim.CrashEvent) {
 	c.perRank[ev.Rank] = append(c.perRank[ev.Rank], crashEvent(ev))
+}
+
+// OnTimer implements sim.Observer; timer transitions fire on the owning
+// rank's goroutine, so they land on the per-rank bucket like segments.
+func (c *Collector) OnTimer(ev sim.TimerEvent) {
+	c.perRank[ev.Rank] = append(c.perRank[ev.Rank], timerEvent(ev))
 }
 
 // OnDeadlock implements sim.Observer. It fires on the watchdog goroutine,

@@ -146,6 +146,10 @@ func WriteChromeTrace(w io.Writer, col *Collector, opt TraceOptions) error {
 				if err := emit(chromeEvent{Name: e.Name, Ph: "i", Pid: 0, Tid: e.Rank, Ts: e.Start * secondsToUs, S: "t", Cat: "crash"}); err != nil {
 					return err
 				}
+			case KindTimer:
+				if err := emit(chromeEvent{Name: e.Name, Ph: "i", Pid: 0, Tid: e.Rank, Ts: e.Start * secondsToUs, S: "t", Cat: "timer", Args: map[string]any{"peer": e.Peer}}); err != nil {
+					return err
+				}
 			}
 		}
 	}

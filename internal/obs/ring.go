@@ -94,6 +94,9 @@ func (rb *RingBuffer) OnFault(ev sim.FaultEvent) { rb.push(faultEvent(ev)) }
 // OnCrash implements sim.Observer.
 func (rb *RingBuffer) OnCrash(ev sim.CrashEvent) { rb.push(crashEvent(ev)) }
 
+// OnTimer implements sim.Observer.
+func (rb *RingBuffer) OnTimer(ev sim.TimerEvent) { rb.push(timerEvent(ev)) }
+
 // OnDeadlock implements sim.Observer.
 func (rb *RingBuffer) OnDeadlock(ev sim.DeadlockEvent) { rb.push(deadlockEvent(ev)) }
 

@@ -1,0 +1,179 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/machine"
+)
+
+// Strategy names one of the recovery mechanisms this package implements.
+type Strategy int
+
+// The three recovery strategies the controller prices against each other.
+const (
+	// StrategyABFT restores the casualty's resident blocks from a fiber
+	// replica and replays only the panel step in flight (ABFT25D).
+	StrategyABFT Strategy = iota
+	// StrategyCheckpoint restores state from the buddy's last snapshot and
+	// re-executes the steps since (RunCheckpointed).
+	StrategyCheckpoint
+	// StrategyRespawn boots a cold spare and re-runs the casualty's work
+	// from the beginning while the survivors idle.
+	StrategyRespawn
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyABFT:
+		return "abft"
+	case StrategyCheckpoint:
+		return "checkpoint"
+	case StrategyRespawn:
+		return "respawn"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// FailureContext describes one detected rank failure in a q×q SUMMA-shaped
+// computation, in the units the cost model understands.
+type FailureContext struct {
+	// N is the global problem size, Q the grid dimension (block size N/Q).
+	N, Q int
+	// Replicas is the number of live copies of the casualty's resident
+	// state (the 2.5D fiber depth c); ABFT needs at least 2.
+	Replicas int
+	// Step is the panel step in flight when the failure was detected,
+	// Steps the total (= Q for square SUMMA).
+	Step, Steps int
+	// CheckpointPeriod is the snapshot interval in steps; 0 means the run
+	// is not checkpointed.
+	CheckpointPeriod int
+	// HaveBuddy reports whether a live buddy holds the last snapshot.
+	HaveBuddy bool
+	// SpareRebootTime is the virtual-time cost of booting a cold spare.
+	SpareRebootTime float64
+}
+
+// StrategyCost is one strategy's predicted recovery bill under Eq. 1 and
+// Eq. 2, or the reason it is not applicable.
+type StrategyCost struct {
+	Strategy Strategy
+	Feasible bool
+	// Reason explains infeasibility; empty when Feasible.
+	Reason string
+	// Time is the predicted recovery time (Eq. 1 over the redone flops,
+	// refetched words and messages, plus any reboot wait).
+	Time float64
+	// Energy is the predicted recovery energy: active γe/βe/αe on the
+	// recovering rank plus (δe·M + εe)·T leakage across all p survivors
+	// that idle while it catches up (Eq. 2 with the survivors at zero
+	// active work).
+	Energy float64
+}
+
+// RecoveryController chooses the cheapest way back from a PeerFailure by
+// pricing each strategy with the paper's closed forms instead of a fixed
+// policy. The same failure has different cheapest answers on different
+// machines: a network with expensive βe favors replaying local flops
+// (ABFT), a machine with high leakage εe punishes the long idle wait of a
+// cold respawn hardest.
+type RecoveryController struct {
+	m machine.Params
+}
+
+// NewRecoveryController builds a controller for the given machine.
+func NewRecoveryController(m machine.Params) *RecoveryController {
+	return &RecoveryController{m: m}
+}
+
+// price evaluates Eq. 1/Eq. 2 for a recovery doing flops F, moving W words
+// in S messages on the recovering rank, with extra non-overlappable wait,
+// while p ranks keep M words each powered for the duration.
+func (rc *RecoveryController) price(f, w, s, wait float64, p int, mem float64) (time, energy float64) {
+	m := rc.m
+	time = m.GammaT*f + m.BetaT*w + m.AlphaT*s + wait
+	energy = m.GammaE*f + m.BetaE*w + m.AlphaE*s +
+		float64(p)*(m.DeltaE*mem+m.EpsilonE)*time
+	return time, energy
+}
+
+// Evaluate prices every strategy for the failure, feasible or not, in
+// Strategy order.
+func (rc *RecoveryController) Evaluate(fc FailureContext) []StrategyCost {
+	p := fc.Q * fc.Q
+	nb := float64(fc.N) / float64(fc.Q)
+	blockWords := nb * nb
+	stateWords := 3 * blockWords // resident A, B and partial C
+	msgWords := rc.m.MaxMsgWords
+	if msgWords <= 0 {
+		msgWords = stateWords
+	}
+	msgs := func(words float64) float64 {
+		if words <= 0 {
+			return 0
+		}
+		return math.Ceil(words / msgWords)
+	}
+	stepFlops := 2 * nb * nb * nb
+	// One replayed panel step refetches the casualty's A and B panels from
+	// their owners (2·nb² words) and redoes the multiply.
+	stepWords := 2 * blockWords
+
+	out := make([]StrategyCost, 0, 3)
+
+	// ABFT: fetch the resident blocks from a fiber sibling, replay only
+	// the panel step that was in flight.
+	abft := StrategyCost{Strategy: StrategyABFT}
+	if fc.Replicas < 2 {
+		abft.Reason = fmt.Sprintf("needs a live replica (replicas=%d)", fc.Replicas)
+	} else {
+		abft.Feasible = true
+		w := stateWords + stepWords
+		abft.Time, abft.Energy = rc.price(stepFlops, w, msgs(stateWords)+msgs(stepWords), 0, p, stateWords)
+	}
+	out = append(out, abft)
+
+	// Checkpoint: restore the last snapshot from the buddy, re-execute the
+	// steps since (each replaying its panel traffic and flops).
+	ckpt := StrategyCost{Strategy: StrategyCheckpoint}
+	switch {
+	case fc.CheckpointPeriod <= 0:
+		ckpt.Reason = "run is not checkpointed"
+	case !fc.HaveBuddy:
+		ckpt.Reason = "buddy holding the snapshot is dead"
+	default:
+		ckpt.Feasible = true
+		redo := float64(fc.Step % fc.CheckpointPeriod)
+		w := stateWords + redo*stepWords
+		ckpt.Time, ckpt.Energy = rc.price(redo*stepFlops, w, msgs(stateWords)+redo*msgs(stepWords), 0, p, stateWords)
+	}
+	out = append(out, ckpt)
+
+	// Respawn: boot a cold spare, refetch the inputs, re-run every
+	// completed step from the beginning while the survivors idle.
+	resp := StrategyCost{Strategy: StrategyRespawn, Feasible: true}
+	redo := float64(fc.Step)
+	w := stateWords + redo*stepWords
+	resp.Time, resp.Energy = rc.price(redo*stepFlops, w, msgs(stateWords)+redo*msgs(stepWords), fc.SpareRebootTime, p, stateWords)
+	out = append(out, resp)
+
+	return out
+}
+
+// Choose returns the feasible strategy with the lowest predicted energy;
+// ties break toward the earlier Strategy value (ABFT before checkpoint
+// before respawn). Respawn is always feasible, so Choose always succeeds.
+func (rc *RecoveryController) Choose(fc FailureContext) StrategyCost {
+	best := StrategyCost{Feasible: false}
+	for _, sc := range rc.Evaluate(fc) {
+		if !sc.Feasible {
+			continue
+		}
+		if !best.Feasible || sc.Energy < best.Energy {
+			best = sc
+		}
+	}
+	return best
+}

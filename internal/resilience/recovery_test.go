@@ -1,0 +1,101 @@
+package resilience_test
+
+import (
+	"testing"
+
+	"perfscale/internal/machine"
+	"perfscale/internal/resilience"
+)
+
+// testMachine is a small explicit parameter set so the controller tests do
+// not depend on preset tuning.
+func testMachine() machine.Params {
+	return machine.Params{
+		Name:   "recovery-test",
+		GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6,
+		GammaE: 1e-9, BetaE: 1e-8, AlphaE: 1e-6,
+		DeltaE: 1e-12, EpsilonE: 1e-3,
+		MemWords: 1 << 20, MaxMsgWords: 1 << 14,
+	}
+}
+
+func baseFailure() resilience.FailureContext {
+	return resilience.FailureContext{
+		N: 256, Q: 4, Replicas: 2,
+		Step: 3, Steps: 4,
+		CheckpointPeriod: 2, HaveBuddy: true,
+		SpareRebootTime: 0.5,
+	}
+}
+
+func TestRecoveryControllerPrefersABFTWithReplica(t *testing.T) {
+	rc := resilience.NewRecoveryController(testMachine())
+	got := rc.Choose(baseFailure())
+	// ABFT replays one panel step; the checkpoint rollback replays
+	// Step % period = 1 step plus the snapshot restore, respawn replays
+	// all 3 plus the reboot — ABFT must win.
+	if got.Strategy != resilience.StrategyABFT || !got.Feasible {
+		t.Errorf("want abft, got %+v", got)
+	}
+}
+
+func TestRecoveryControllerFallsBackToCheckpoint(t *testing.T) {
+	rc := resilience.NewRecoveryController(testMachine())
+	fc := baseFailure()
+	fc.Replicas = 1
+	got := rc.Choose(fc)
+	if got.Strategy != resilience.StrategyCheckpoint {
+		t.Errorf("want checkpoint without a replica, got %+v", got)
+	}
+}
+
+func TestRecoveryControllerRespawnIsLastResort(t *testing.T) {
+	rc := resilience.NewRecoveryController(testMachine())
+	fc := baseFailure()
+	fc.Replicas = 1
+	fc.HaveBuddy = false
+	got := rc.Choose(fc)
+	if got.Strategy != resilience.StrategyRespawn || !got.Feasible {
+		t.Errorf("want respawn as the only feasible strategy, got %+v", got)
+	}
+	for _, sc := range rc.Evaluate(fc) {
+		if sc.Strategy != resilience.StrategyRespawn && sc.Feasible {
+			t.Errorf("strategy %v should be infeasible: %+v", sc.Strategy, sc)
+		}
+		if !sc.Feasible && sc.Reason == "" {
+			t.Errorf("infeasible %v carries no reason", sc.Strategy)
+		}
+	}
+}
+
+func TestRecoveryControllerChooseIsArgmin(t *testing.T) {
+	rc := resilience.NewRecoveryController(testMachine())
+	for _, fc := range []resilience.FailureContext{
+		baseFailure(),
+		{N: 512, Q: 8, Replicas: 4, Step: 7, Steps: 8, CheckpointPeriod: 4, HaveBuddy: true, SpareRebootTime: 2},
+		{N: 128, Q: 2, Replicas: 1, Step: 0, Steps: 2, CheckpointPeriod: 1, HaveBuddy: true},
+	} {
+		got := rc.Choose(fc)
+		for _, sc := range rc.Evaluate(fc) {
+			if sc.Feasible && sc.Energy < got.Energy {
+				t.Errorf("Choose(%+v) = %+v, but %v is cheaper (%g J)", fc, got, sc.Strategy, sc.Energy)
+			}
+		}
+	}
+}
+
+func TestRecoveryControllerRespawnGrowsWithProgress(t *testing.T) {
+	rc := resilience.NewRecoveryController(testMachine())
+	fc := baseFailure()
+	prev := -1.0
+	for step := 0; step < fc.Steps; step++ {
+		fc.Step = step
+		costs := rc.Evaluate(fc)
+		resp := costs[int(resilience.StrategyRespawn)]
+		if resp.Energy <= prev {
+			t.Errorf("respawn energy should grow with lost progress: step %d gives %g after %g",
+				step, resp.Energy, prev)
+		}
+		prev = resp.Energy
+	}
+}

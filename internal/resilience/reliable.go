@@ -53,10 +53,15 @@ func NewReliable(r *sim.Rank) *Reliable {
 	}
 }
 
-// Frame kinds and ack flags.
+// Frame kinds and ack flags. PING/PONG/BEAT are control frames only the
+// timer-aware ARQ endpoint emits; classify recognizes them here so the two
+// protocol generations share one frame grammar.
 const (
 	kindData = 1
 	kindAck  = 2
+	kindPing = 3
+	kindPong = 4
+	kindBeat = 5
 	ackOK    = 1
 	ackBad   = 0
 )
@@ -89,7 +94,16 @@ const (
 	frameDamaged = iota
 	frameData
 	frameAck
+	framePing
+	framePong
+	frameBeat
 )
+
+// ctlFrame builds a 4-word control frame (PING/PONG/BEAT) carrying one
+// integer argument, checksummed like an ack.
+func ctlFrame(kind, arg int) []float64 {
+	return []float64{float64(kind), float64(arg), 0, float64(kind) + float64(arg)}
+}
 
 // classify validates a frame's checksum and returns its kind. A frame whose
 // checksum fails — including one whose kind word was corrupted — is damaged.
@@ -99,6 +113,16 @@ func classify(f []float64) int {
 		return frameData
 	case len(f) == 4 && f[0] == kindAck && f[3] == kindAck+f[1]+f[2]:
 		return frameAck
+	case len(f) == 4 && f[3] == f[0]+f[1]+f[2]:
+		switch f[0] {
+		case kindPing:
+			return framePing
+		case kindPong:
+			return framePong
+		case kindBeat:
+			return frameBeat
+		}
+		return frameDamaged
 	default:
 		return frameDamaged
 	}
@@ -142,6 +166,29 @@ func (rl *Reliable) Send(dst int, data []float64) {
 	}
 }
 
+// DefaultMaxPending bounds how many early data frames one peer may park in
+// an endpoint's pending buffer. A correct peer alternates data with the
+// acks this endpoint is waiting for, so the buffer stays shallow; unbounded
+// growth means the peer is streaming without ever consuming — a protocol
+// bug that used to manifest as an out-of-memory kill long after the cause.
+const DefaultMaxPending = 256
+
+// PendingOverflowError reports a peer that pushed more early data frames
+// than the endpoint is willing to buffer. Reliable panics with it (sim.Run
+// converts the panic into a per-rank error that errors.As can unwrap); the
+// ARQ endpoint returns it.
+type PendingOverflowError struct {
+	Rank, Peer int
+	// Limit is the buffer bound that was exceeded.
+	Limit int
+}
+
+// Error implements error.
+func (e *PendingOverflowError) Error() string {
+	return fmt.Sprintf("resilience: rank %d: peer %d overflowed the pending buffer (> %d early data frames; peer streams without consuming)",
+		e.Rank, e.Peer, e.Limit)
+}
+
 // acceptData handles a valid incoming data frame outside Recv: duplicates
 // are re-acknowledged (their ack may have been damaged), in-order data is
 // buffered for a later Recv. It does not acknowledge buffered data — the
@@ -153,6 +200,9 @@ func (rl *Reliable) acceptData(peer int, f []float64) {
 	case seq < expected:
 		rl.r.Send(peer, ackFrame(seq, ackOK))
 	case seq == expected:
+		if len(rl.pending[peer]) >= DefaultMaxPending {
+			panic(&PendingOverflowError{Rank: rl.r.ID(), Peer: peer, Limit: DefaultMaxPending})
+		}
 		payload := make([]float64, len(f)-3)
 		copy(payload, f[3:])
 		rl.pending[peer] = append(rl.pending[peer], pendingFrame{seq: seq, data: payload})

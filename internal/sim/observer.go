@@ -37,6 +37,10 @@ type Observer interface {
 	OnPhase(rank int, name string, at float64)
 	// OnFault delivers a message-fault or degraded-window decision.
 	OnFault(ev FaultEvent)
+	// OnTimer delivers a virtual-timer transition (armed / fired /
+	// cancelled) of a RecvTimeout or SendTimeout. Fires on the owning
+	// rank's goroutine in virtual-time order, like segment callbacks.
+	OnTimer(ev TimerEvent)
 	// OnCrash delivers an injected rank crash as it fires.
 	OnCrash(ev CrashEvent)
 	// OnDeadlock delivers one watchdog abort; every aborted rank of one

@@ -18,6 +18,7 @@ type recObs struct {
 	faults    []FaultEvent
 	crashes   []CrashEvent
 	deadlocks []DeadlockEvent
+	timers    []TimerEvent
 }
 
 func newRecObs() *recObs {
@@ -51,6 +52,11 @@ func (o *recObs) OnCrash(ev CrashEvent) {
 func (o *recObs) OnDeadlock(ev DeadlockEvent) {
 	o.mu.Lock()
 	o.deadlocks = append(o.deadlocks, ev)
+	o.mu.Unlock()
+}
+func (o *recObs) OnTimer(ev TimerEvent) {
+	o.mu.Lock()
+	o.timers = append(o.timers, ev)
 	o.mu.Unlock()
 }
 

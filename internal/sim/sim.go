@@ -188,6 +188,12 @@ type Cluster struct {
 	// Recv on it. Messages the rank sent before exiting are still queued
 	// and are drained before a receive is declared failed.
 	exitCh []chan struct{}
+	// timerDeadline[id] publishes rank id's armed virtual deadline
+	// (Float64bits; zero means none) and timerCh[id] carries the
+	// watchdog's fire token when the deadline expires at quiescence —
+	// the virtual-timer machinery of RecvTimeout/SendTimeout (timer.go).
+	timerDeadline []atomic.Uint64
+	timerCh       []chan struct{}
 }
 
 // DefaultChanCap is the per-pair queue buffer in messages (override per run
@@ -247,9 +253,12 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	c.abortErr = make([]*DeadlockError, p)
 	c.exits = make([]exitInfo, p)
 	c.exitCh = make([]chan struct{}, p)
+	c.timerDeadline = make([]atomic.Uint64, p)
+	c.timerCh = make([]chan struct{}, p)
 	for i := range c.aborts {
 		c.aborts[i] = make(chan struct{})
 		c.exitCh[i] = make(chan struct{})
+		c.timerCh[i] = make(chan struct{}, 1)
 	}
 	return c, nil
 }
@@ -285,6 +294,11 @@ type Rank struct {
 	// deadlock snapshots can report what each rank last did).
 	lastSeg Segment
 	hasSeg  bool
+
+	// pushback holds, per peer, a message whose arrival stamp lost to a
+	// RecvTimeout deadline: it stays the FIFO head for the pair and is
+	// returned by the next receive (timer.go). At most one per peer.
+	pushback map[int]message
 }
 
 // ID returns the rank's index in [0, P).
@@ -431,6 +445,10 @@ func (r *Rank) Recv(src int) []float64 {
 		panic(fmt.Sprintf("sim: rank %d receiving from invalid rank %d", r.id, src))
 	}
 	r.crashCheck()
+	// A message pushed back by an expired RecvTimeout stays the FIFO head.
+	if msg, ok := r.takePushback(src); ok {
+		return r.finishRecv(src, msg)
+	}
 	ch := r.queueFrom(src)
 	var msg message
 	ok := true
@@ -469,6 +487,13 @@ func (r *Rank) Recv(src int) []float64 {
 			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which failed (cascade; root cause: %v)", r.id, src, ei.err))
 		}
 	}
+	return r.finishRecv(src, msg)
+}
+
+// finishRecv prices and accounts a message in hand: the wait to its
+// arrival stamp, the ChargeReceiver α/β cost, and the receive counters.
+// Shared by Recv and RecvTimeout so both deliver identically.
+func (r *Rank) finishRecv(src int, msg message) []float64 {
 	if msg.arrival > r.clock {
 		r.stats.WaitTime += msg.arrival - r.clock
 		r.emit(Segment{Kind: SegWait, Start: r.clock, End: msg.arrival, Peer: src, Words: len(msg.data)})
@@ -644,7 +669,14 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 						errs[id] = p.err
 						status = exitAborted
 					default:
-						errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+						if perr, ok := rec.(error); ok {
+							// Keep typed error panics (e.g. a protocol
+							// layer's overflow error) reachable via
+							// errors.As after the recover.
+							errs[id] = fmt.Errorf("sim: rank %d panicked: %w", id, perr)
+						} else {
+							errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+						}
 						status = exitPanicked
 					}
 				} else if errs[id] != nil {

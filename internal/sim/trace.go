@@ -95,6 +95,7 @@ func (t *tracer) OnPhase(rank int, name string, at float64) {
 func (t *tracer) OnFault(FaultEvent)       {}
 func (t *tracer) OnCrash(CrashEvent)       {}
 func (t *tracer) OnDeadlock(DeadlockEvent) {}
+func (t *tracer) OnTimer(TimerEvent)       {}
 
 // CriticalPath walks the message-dependency graph backwards from the
 // last-finishing rank: within a rank, time flows through its segments; a

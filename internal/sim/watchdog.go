@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -14,16 +15,23 @@ import (
 //
 //	bits 63..32  seq     — bumped on every transition, so "unchanged word"
 //	                       means "still in the very same wait"
-//	bits 31..30  op      — running / blocked-recv / blocked-send / exited
-//	bits 29..0   peer    — the rank waited on (blocked states only)
+//	bits 31..29  op      — running / blocked-recv / blocked-send / exited /
+//	                       blocked-recv-timer / blocked-send-timer
+//	bits 28..0   peer    — the rank waited on (blocked states only)
 //
 // When every still-live rank has sat in an unchanged blocked state for the
-// watchdog timeout, no message can ever arrive (the simulation has no
-// external inputs), so the run is deadlocked: the watchdog aborts each
-// blocked rank with a DeadlockError naming who waits on whom. A rank
-// blocked sending to a peer that already exited can never be released
-// either — even while the rest of the cluster makes progress — so that
-// case is detected per rank.
+// watchdog timeout and no queued message is deliverable, the cluster is
+// quiescent: no message can ever arrive (the simulation has no external
+// inputs). What happens next depends on the virtual timers of timer.go.
+// If any blocked rank holds an armed timer, the run is retrying, not dead:
+// the watchdog fires the earliest deadline — exactly one per quiescence
+// round, so the resumption order stays deterministic — and waits for fresh
+// quiescence. Only with zero armed timers is the run deadlocked, and each
+// blocked rank is aborted with a DeadlockError naming who waits on whom.
+// A rank blocked in a plain send to a peer that already exited can never
+// be released either — even while the rest of the cluster makes progress —
+// so that case is detected per rank (timed sends handle peer exit
+// themselves).
 
 // Rank states packed into the atomic word.
 const (
@@ -31,16 +39,27 @@ const (
 	opBlockedRecv
 	opBlockedSend
 	opExited
+	opBlockedRecvTimer
+	opBlockedSendTimer
 )
 
-const peerMask = 1<<30 - 1
+const peerMask = 1<<29 - 1
 
 func packState(seq uint32, op uint64, peer int) uint64 {
-	return uint64(seq)<<32 | op<<30 | uint64(peer)&peerMask
+	return uint64(seq)<<32 | op<<29 | uint64(peer)&peerMask
 }
 
 func unpackState(w uint64) (op uint64, peer int) {
-	return w >> 30 & 3, int(w & peerMask)
+	return w >> 29 & 7, int(w & peerMask)
+}
+
+// blockedOp reports whether op is any of the four blocked states.
+func blockedOp(op uint64) bool {
+	switch op {
+	case opBlockedRecv, opBlockedSend, opBlockedRecvTimer, opBlockedSendTimer:
+		return true
+	}
+	return false
 }
 
 // setState publishes a rank's blocking state to the watchdog. Blocking
@@ -144,6 +163,10 @@ func (c *Cluster) snapshot(states []uint64) *ClusterSnapshot {
 			rs.State, rs.Peer = "blocked-recv", peer
 		case opBlockedSend:
 			rs.State, rs.Peer = "blocked-send", peer
+		case opBlockedRecvTimer:
+			rs.State, rs.Peer = "blocked-recv-timer", peer
+		case opBlockedSendTimer:
+			rs.State, rs.Peer = "blocked-send-timer", peer
 		case opExited:
 			rs.State = "exited"
 		default:
@@ -213,7 +236,7 @@ func (c *Cluster) abort(id int, err *DeadlockError) {
 }
 
 func opName(op uint64) string {
-	if op == opBlockedSend {
+	if op == opBlockedSend || op == opBlockedSendTimer {
 		return "send"
 	}
 	return "recv"
@@ -251,9 +274,11 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 				since[id] = now
 			}
 		}
-		// Case 1: a rank stuck sending to a peer that already exited.
-		// The peer will never drain the pair's buffer, so this send can
-		// never complete no matter what the rest of the cluster does.
+		// Case 1: a rank stuck in a plain send to a peer that already
+		// exited. The peer will never drain the pair's buffer, so this
+		// send can never complete no matter what the rest of the cluster
+		// does. (Timed sends observe the exit themselves and resolve with
+		// SendPeerExited.)
 		for id := 0; id < c.p; id++ {
 			op, peer := unpackState(cur[id])
 			if op != opBlockedSend || fired[id] {
@@ -262,6 +287,9 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 			if peerOp, _ := unpackState(cur[peer]); peerOp != opExited {
 				continue
 			}
+			if len(c.queue(id, peer)) < c.bufCap {
+				continue // space opened; the send completes by itself
+			}
 			if now.Sub(since[id]) >= timeout {
 				err := &DeadlockError{Rank: id, Op: "send", Peer: peer, PeerExited: true, Snapshot: c.snapshot(cur)}
 				c.emitDeadlock(DeadlockEvent{Err: err})
@@ -269,9 +297,10 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 				fired[id] = true
 			}
 		}
-		// Case 2: global deadlock — every live rank blocked, none of them
-		// rescheduled for a full timeout. The simulation has no external
-		// inputs, so nothing can ever release them.
+		// Case 2: global quiescence — every live rank blocked, none of
+		// them rescheduled for a full timeout, no queued message
+		// deliverable. The simulation has no external inputs, so nothing
+		// except a virtual timer can ever release them.
 		anyLive, allStuck := false, true
 		for id := 0; id < c.p; id++ {
 			op, _ := unpackState(cur[id])
@@ -279,19 +308,34 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 				continue
 			}
 			anyLive = true
-			if op == opRunning || fired[id] || now.Sub(since[id]) < timeout {
+			if !blockedOp(op) || fired[id] || now.Sub(since[id]) < timeout {
 				allStuck = false
 				break
 			}
 		}
-		if !anyLive || !allStuck {
+		if !anyLive || !allStuck || c.deliverable(cur) {
+			continue
+		}
+		// Quiescent. Fire the single earliest armed timer, if any: the
+		// blocked operation with the smallest virtual deadline (ties to
+		// the lowest rank id) times out, and the watchdog demands a fresh
+		// full window of quiescence before touching the next one — see
+		// timer.go for why one at a time is what keeps runs deterministic.
+		if id, ok, transient := c.earliestTimer(cur); transient {
+			continue // an arm/disarm transition is in flight: activity
+		} else if ok {
+			since[id] = now
+			select {
+			case c.timerCh[id] <- struct{}{}:
+			default:
+			}
 			continue
 		}
 		graph := waitGraph(cur)
 		snap := c.snapshot(cur)
 		for id := 0; id < c.p; id++ {
 			op, peer := unpackState(cur[id])
-			if op == opBlockedRecv || op == opBlockedSend {
+			if blockedOp(op) {
 				err := &DeadlockError{Rank: id, Op: opName(op), Peer: peer, Graph: graph, Snapshot: snap}
 				c.emitDeadlock(DeadlockEvent{Err: err})
 				c.abort(id, err)
@@ -301,13 +345,61 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 	}
 }
 
+// deliverable reports whether any blocked rank could still be released by
+// the queues alone: a receiver whose pair holds an undelivered message, or
+// a full-buffer sender whose pair has room again. It is a conservative
+// guard against declaring quiescence in the real-time gap between an
+// enqueue and the blocked peer being rescheduled — without it, a timer
+// could in principle fire even though a message with a smaller stamp was
+// already in flight. Channel lengths are sampled racily, which only ever
+// delays a detection by a tick.
+func (c *Cluster) deliverable(states []uint64) bool {
+	for id := range states {
+		op, peer := unpackState(states[id])
+		switch op {
+		case opBlockedRecv, opBlockedRecvTimer:
+			if len(c.queue(peer, id)) > 0 {
+				return true
+			}
+		case opBlockedSend, opBlockedSendTimer:
+			if len(c.queue(id, peer)) < c.bufCap {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// earliestTimer scans the sampled states for armed virtual timers and
+// returns the rank with the smallest deadline (ties to the lowest id).
+// transient is set when a rank's word says "timer op" but its published
+// deadline is zero — the rank is mid-transition, so the cluster was not
+// really quiescent and nothing must fire this round.
+func (c *Cluster) earliestTimer(states []uint64) (id int, ok, transient bool) {
+	best, bestD := -1, 0.0
+	for r := range states {
+		op, _ := unpackState(states[r])
+		if op != opBlockedRecvTimer && op != opBlockedSendTimer {
+			continue
+		}
+		bits := c.timerDeadline[r].Load()
+		if bits == 0 {
+			return -1, false, true
+		}
+		if d := math.Float64frombits(bits); best < 0 || d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best, best >= 0, false
+}
+
 // waitGraph renders the wait-for relation of the blocked ranks, e.g.
 // "rank 3 waiting on rank 5, rank 5 waiting on rank 3".
 func waitGraph(states []uint64) string {
 	var b strings.Builder
 	for id, w := range states {
 		op, peer := unpackState(w)
-		if op != opBlockedRecv && op != opBlockedSend {
+		if !blockedOp(op) {
 			continue
 		}
 		if b.Len() > 0 {
