@@ -155,10 +155,12 @@ type point struct {
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_sim.json", "output JSON path")
-		mach = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
-		n    = flag.Int("n", 256, "matrix dimension (must be divisible by every grid size)")
-		big  = flag.Bool("big", true, "include the p=16384 run (sparse wiring only)")
+		out      = flag.String("out", "BENCH_sim.json", "output JSON path")
+		mach     = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
+		n        = flag.Int("n", 256, "matrix dimension (must be divisible by every grid size)")
+		big      = flag.Bool("big", true, "include the p=16384 run (sparse wiring only)")
+		srv      = flag.Bool("serve", false, "benchmark the query service instead of the simulator")
+		serveOut = flag.String("serveout", "BENCH_serve.json", "output JSON path for -serve")
 	)
 	flag.Parse()
 
@@ -166,6 +168,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *srv {
+		if err := serveBench(m, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	algos := []algo{

@@ -13,15 +13,21 @@
 //	conformance -v                   # dump every band ratio to stderr
 //
 // The exit status is 0 when the sweep passes, 1 on violations, 2 on a
-// harness failure (an algorithm refusing to run, bad flags).
+// harness failure (an algorithm refusing to run, bad flags), 130 when
+// interrupted by SIGINT/SIGTERM — in which case the -out report is still
+// written, marked "interrupted", covering the points reached.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"perfscale/internal/conformance"
@@ -69,30 +75,46 @@ func main() {
 		cfg.Verbose = os.Stderr
 	}
 
+	// A first SIGINT/SIGTERM cancels the sweep (a partial report is still
+	// written); a second one falls back to the default handler and kills
+	// the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+
 	start := time.Now()
 	rep, err := conformance.Sweep(cfg)
-	if err != nil {
+	rep.WallSeconds = time.Since(start).Seconds()
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "conformance:", err)
 		os.Exit(2)
 	}
-	rep.WallSeconds = time.Since(start).Seconds()
 
 	if *out != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "conformance:", err)
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", merr)
 			os.Exit(2)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "conformance:", err)
+		if werr := os.WriteFile(*out, append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", werr)
 			os.Exit(2)
 		}
 	}
 
-	fmt.Printf("conformance %s on %s: %d points, %d checks, %d violations (%.2fs)\n",
-		rep.Level, rep.Machine, rep.Points, rep.Checks, len(rep.Violations), rep.WallSeconds)
+	status := ""
+	if interrupted {
+		status = " [interrupted — partial]"
+	}
+	fmt.Printf("conformance %s on %s: %d points, %d checks, %d violations (%.2fs)%s\n",
+		rep.Level, rep.Machine, rep.Points, rep.Checks, len(rep.Violations), rep.WallSeconds, status)
 	for _, v := range rep.Violations {
 		fmt.Println("  " + v.String())
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(130)
 	}
 	if !rep.Ok() {
 		os.Exit(1)

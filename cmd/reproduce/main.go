@@ -38,13 +38,16 @@ func main() {
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		// Closed explicitly below: a deferred Close would be skipped by the
+		// os.Exit(1) on experiment failure and its error lost on success.
+		closeOut = f.Close
 		w = f
 	}
 	start := time.Now()
@@ -69,8 +72,16 @@ func main() {
 	r.e19()
 	r.e20()
 	r.e21()
-	fmt.Fprintf(w, "\n---\nGenerated in %.1fs. All values deterministic (virtual time, seeded data).\n",
+	r.p("\n---\nGenerated in %.1fs. All values deterministic (virtual time, seeded data).",
 		time.Since(start).Seconds())
+	if err := closeOut(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if r.werr != nil {
+		fmt.Fprintln(os.Stderr, "reproduce: writing report:", r.werr)
+		os.Exit(1)
+	}
 	if r.failed {
 		os.Exit(1)
 	}
@@ -79,16 +90,26 @@ func main() {
 type reporter struct {
 	w      io.Writer
 	failed bool
+	// werr is the first report-write failure (ENOSPC, closed pipe, ...);
+	// later writes are best-effort, and main turns it into exit 1 so a
+	// truncated report can never pass for a clean run.
+	werr error
 }
 
-func (r *reporter) section(title string) { fmt.Fprintf(r.w, "\n## %s\n\n", title) }
-func (r *reporter) p(format string, args ...any) {
-	fmt.Fprintf(r.w, format+"\n", args...)
+func (r *reporter) write(format string, args ...any) {
+	if _, err := fmt.Fprintf(r.w, format, args...); err != nil && r.werr == nil {
+		r.werr = err
+	}
 }
-func (r *reporter) table(t *report.Table) { fmt.Fprintln(r.w, t.Markdown()) }
+
+func (r *reporter) section(title string) { r.write("\n## %s\n\n", title) }
+func (r *reporter) p(format string, args ...any) {
+	r.write(format+"\n", args...)
+}
+func (r *reporter) table(t *report.Table) { r.write("%s\n", t.Markdown()) }
 func (r *reporter) fail(err error) {
 	r.failed = true
-	fmt.Fprintf(r.w, "**FAILED:** %v\n", err)
+	r.write("**FAILED:** %v\n", err)
 }
 
 func (r *reporter) hdr() {

@@ -99,31 +99,41 @@ func main() {
 	ring := obs.NewRingBuffer(*tail)
 	traced.Observers = []sim.Observer{col, ring}
 	var jw *obs.JSONLWriter
+	var eventsFile *os.File
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		eventsFile = f
 		jw = obs.NewJSONLWriter(f)
 		traced.Observers = append(traced.Observers, jw)
 	}
 
+	var profFile *os.File
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		profFile = f
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-		defer pprof.StopCPUProfile()
 	}
 
 	start := time.Now()
 	res, err := run(traced)
 	wall := time.Since(start)
+	if profFile != nil {
+		// Stop and close eagerly: the deferred-Close idiom would silently
+		// drop both the flush implied by Stop and any Close error on every
+		// os.Exit path, leaving a truncated profile with status 0.
+		pprof.StopCPUProfile()
+		if cerr := profFile.Close(); cerr != nil {
+			fatal(fmt.Errorf("closing %s: %w", *cpuprof, cerr))
+		}
+	}
 	if err != nil {
 		// The bounded window is exactly for this moment: show the last
 		// events each rank managed before the failure.
@@ -137,6 +147,9 @@ func main() {
 	if jw != nil {
 		if err := jw.Flush(); err != nil {
 			fatal(err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(fmt.Errorf("closing %s: %w", *events, err))
 		}
 	}
 

@@ -28,6 +28,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -141,6 +142,10 @@ type Report struct {
 	// WallSeconds is filled by callers that time the sweep (cmd/bench
 	// records it into BENCH_sim.json so the gate's cost is tracked).
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Interrupted marks a partial report: the sweep's Config.Context was
+	// cancelled before every family ran. The counts and violations cover
+	// only the points reached; Ok() on an interrupted report means nothing.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Ok reports whether the sweep found no violations.
@@ -171,6 +176,21 @@ type Config struct {
 	// measured ratio — the input to the band-calibration procedure in
 	// docs/CONFORMANCE.md (cmd/conformance -v wires it to stderr).
 	Verbose io.Writer
+	// Context, when non-nil, aborts the sweep when cancelled: it is checked
+	// between points and threaded into every simulator run as sim.Cost's
+	// Context, so even a rank mid-multiply stops promptly. Sweep then
+	// returns the partial report with Interrupted set and an error wrapping
+	// the context's cause (cmd/conformance wires SIGINT here).
+	Context context.Context
+}
+
+// interrupted returns the context's cancellation cause, or nil while the
+// sweep may continue.
+func (cfg *Config) interrupted() error {
+	if cfg.Context == nil {
+		return nil
+	}
+	return context.Cause(cfg.Context)
 }
 
 // DefaultSeeds are the fault-plan seeds replayed when Config.Seeds is empty.
@@ -179,12 +199,21 @@ var DefaultSeeds = []uint64{1, 0xDEADBEEF, 0x9E3779B97F4A7C15}
 // checker accumulates violations and check counts for one sweep.
 type checker struct {
 	m       machine.Params
+	cfg     *Config
 	rep     *Report
 	verbose io.Writer
 }
 
-// violate records a failed check.
-func (c *checker) violate(v Violation) { c.rep.Violations = append(c.rep.Violations, v) }
+// violate records a failed check. Failures arriving after the sweep's
+// Context was cancelled are dropped: a run aborted mid-flight fails its
+// checks for the wrong reason, and a partial report must not present
+// cancellation artifacts as model violations.
+func (c *checker) violate(v Violation) {
+	if c.cfg.interrupted() != nil {
+		return
+	}
+	c.rep.Violations = append(c.rep.Violations, v)
+}
 
 // checkBand verifies got/want ∈ band (want > 0) and records a violation
 // otherwise. Every call counts as one check.
@@ -227,6 +256,7 @@ func (cfg *Config) cost() sim.Cost {
 		BetaT:       cfg.Machine.BetaT,
 		AlphaT:      cfg.Machine.AlphaT,
 		MaxMsgWords: int(cfg.Machine.MaxMsgWords),
+		Context:     cfg.Context,
 	}
 	if cfg.MutateCost != nil {
 		cfg.MutateCost(&c)
@@ -246,7 +276,18 @@ func Sweep(cfg Config) (*Report, error) {
 		cfg.Seeds = DefaultSeeds
 	}
 	rep := &Report{Machine: cfg.Machine.Name, Level: cfg.Level.String(), Violations: []Violation{}}
-	ck := &checker{m: cfg.Machine, rep: rep, verbose: cfg.Verbose}
+	ck := &checker{m: cfg.Machine, cfg: &cfg, rep: rep, verbose: cfg.Verbose}
+
+	// fail resolves an error return: a cancelled Context takes precedence
+	// over whatever error the abort surfaced as, and marks the report
+	// partial so callers can still persist the points already checked.
+	fail := func(err error) (*Report, error) {
+		if cause := cfg.interrupted(); cause != nil {
+			rep.Interrupted = true
+			return rep, fmt.Errorf("conformance: sweep interrupted: %w", cause)
+		}
+		return rep, err
+	}
 
 	checkClosedForms(ck, cfg)
 	checkRecoveryController(ck)
@@ -254,23 +295,27 @@ func Sweep(cfg Config) (*Report, error) {
 	if !cfg.SkipSim {
 		for _, alg := range selectAlgorithms(cfg.Algorithms) {
 			for _, pt := range alg.points(cfg.Level) {
+				if cfg.interrupted() != nil {
+					return fail(nil)
+				}
 				rep.Points++
 				run, err := alg.run(cfg.cost(), cfg.Machine, pt)
 				if err != nil {
-					return rep, fmt.Errorf("conformance: %s %s: %w", alg.name, pt, err)
+					return fail(fmt.Errorf("conformance: %s %s: %w", alg.name, pt, err))
 				}
 				checkDifferential(ck, alg.name, pt, run)
 				checkLowerBound(ck, alg.name, pt, run)
 			}
 		}
-		if err := checkSimMetamorphic(ck, cfg); err != nil {
-			return rep, err
-		}
-		if err := checkReplay(ck, cfg); err != nil {
-			return rep, err
-		}
-		if err := checkRecovery(ck, cfg); err != nil {
-			return rep, err
+		for _, family := range []func(*checker, Config) error{
+			checkSimMetamorphic, checkReplay, checkRecovery,
+		} {
+			if cfg.interrupted() != nil {
+				return fail(nil)
+			}
+			if err := family(ck, cfg); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	return rep, nil

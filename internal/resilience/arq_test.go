@@ -288,3 +288,138 @@ func dataIfTest(cond bool, data []float64) []float64 {
 	}
 	return nil
 }
+
+// TestARQPendingOverflowFromARQPeer drives the pending bound through honest
+// two-sided protocol traffic (TestARQPendingOverflow above forges raw
+// frames): rank 0 parks in an ack wait whose RTO is effectively infinite
+// while rank 1 pushes three genuine ARQ transfers at it. With MaxPending=2
+// the third in-order frame must surface *PendingOverflowError out of rank
+// 0's own Send, attributed to the overflowing endpoint.
+func TestARQPendingOverflowFromARQPeer(t *testing.T) {
+	slowCfg := resilience.ARQDefaults(arqCost(), 2)
+	slowCfg.RTO = 10 // virtual seconds: parks rank 0 for the whole run
+	slowCfg.MaxPending = 2
+	fastCfg := resilience.ARQDefaults(arqCost(), 2)
+	fastCfg.MaxAttempts = 3
+
+	_, err := sim.Run(2, arqCost(), func(r *sim.Rank) error {
+		if r.ID() == 0 {
+			arq := resilience.NewARQ(r, slowCfg)
+			// Never acked (the peer only sends), so this sits in the ack
+			// wait accepting the peer's early data until the bound trips.
+			return arq.Send(1, []float64{1})
+		}
+		arq := resilience.NewARQ(r, fastCfg)
+		for i := 0; i < slowCfg.MaxPending+1; i++ {
+			// The first copies park unacknowledged; retransmits of parked
+			// frames are dup-acked, and the final transfer completes
+			// optimistically — either way the sender's exit stays clean,
+			// so the only error in the run is the receiver's overflow.
+			if err := arq.Send(0, []float64{float64(i)}); err != nil {
+				return nil
+			}
+		}
+		return nil
+	})
+	var poe *resilience.PendingOverflowError
+	if !errors.As(err, &poe) {
+		t.Fatalf("want *PendingOverflowError in %v", err)
+	}
+	if poe.Rank != 0 || poe.Peer != 1 || poe.Limit != slowCfg.MaxPending {
+		t.Errorf("overflow misattributed: %+v", poe)
+	}
+}
+
+// TestARQOptimisticCompletionAtMaxAttempts exercises the MaxAttempts
+// boundary on a one-way blackhole link (every copy rank 0 sends toward
+// rank 1 drops, the reverse direction is clean). The sender must exhaust
+// exactly its budget — MaxAttempts timeouts, MaxAttempts-1 retransmits —
+// and then complete optimistically rather than deadlock; the residual risk
+// lands on the receiver, whose Recv converts the sender's clean exit into
+// a typed *PeerFailure with Exited && Clean set.
+func TestARQOptimisticCompletionAtMaxAttempts(t *testing.T) {
+	cost := arqCost()
+	cost.Faults = &sim.FaultPlan{
+		Seed:  7,
+		Links: []sim.LinkFault{{Src: 0, Dst: 1, DropProb: 1}},
+	}
+	cfg := resilience.ARQDefaults(cost, 1)
+	cfg.MaxAttempts = 3
+
+	var senderStats resilience.ARQStats
+	var recvErr error
+	_, err := sim.Run(2, cost, func(r *sim.Rank) error {
+		arq := resilience.NewARQ(r, cfg)
+		if r.ID() == 0 {
+			if err := arq.Send(1, []float64{42}); err != nil {
+				return err
+			}
+			senderStats = arq.Stats()
+			return nil
+		}
+		_, recvErr = arq.Recv(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run must complete (that is the point of optimistic completion): %v", err)
+	}
+	if senderStats.OptimisticSends != 1 {
+		t.Errorf("OptimisticSends = %d, want 1", senderStats.OptimisticSends)
+	}
+	if senderStats.Timeouts != cfg.MaxAttempts {
+		t.Errorf("Timeouts = %d, want the full budget %d", senderStats.Timeouts, cfg.MaxAttempts)
+	}
+	if senderStats.Retransmits != cfg.MaxAttempts-1 {
+		t.Errorf("Retransmits = %d, want %d (no retransmit after the final timeout)",
+			senderStats.Retransmits, cfg.MaxAttempts-1)
+	}
+	var pf *resilience.PeerFailure
+	if !errors.As(recvErr, &pf) {
+		t.Fatalf("receiver error = %v, want *PeerFailure", recvErr)
+	}
+	if !pf.Exited || !pf.Clean {
+		t.Errorf("residual-risk verdict = %+v, want Exited && Clean (sender finished optimistically)", pf)
+	}
+}
+
+// TestARQRecoversJustBeforeMaxAttempts is the contrast case one step inside
+// the boundary: the drop window covers only the first copy, the first
+// retransmit lands, and the transfer completes normally — one timeout, one
+// retransmit, no optimistic completion, payload intact at the receiver.
+func TestARQRecoversJustBeforeMaxAttempts(t *testing.T) {
+	cost := arqCost()
+	cfg := resilience.ARQDefaults(cost, 2)
+	cfg.MaxAttempts = 3
+	// The first data copy leaves within half an RTO of the clock origin
+	// and drops; the retransmit fires a full (jittered) RTO later, outside
+	// the window, and delivers.
+	cost.Faults = &sim.FaultPlan{
+		Seed:  7,
+		Links: []sim.LinkFault{{Src: 0, Dst: 1, From: 0, Until: 0.5 * cfg.RTO, DropProb: 1}},
+	}
+
+	var senderStats resilience.ARQStats
+	var got []float64
+	_, err := sim.Run(2, cost, func(r *sim.Rank) error {
+		arq := resilience.NewARQ(r, cfg)
+		if r.ID() == 0 {
+			if err := arq.Send(1, []float64{3, 9}); err != nil {
+				return err
+			}
+			senderStats = arq.Stats()
+			return nil
+		}
+		var err error
+		got, err = arq.Recv(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Errorf("payload after masked drop = %v, want [3 9]", got)
+	}
+	if senderStats.Timeouts != 1 || senderStats.Retransmits != 1 || senderStats.OptimisticSends != 0 {
+		t.Errorf("stats = %+v, want exactly one timeout, one retransmit, no optimistic completion", senderStats)
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Content-addressed response cache with singleflight coalescing.
+//
+// Every query the service answers is a pure function of its canonical
+// parameter tuple: the model is closed-form and the simulator is
+// deterministic (virtual time, seeded matrices, seeded faults). That makes
+// responses content-addressable — the canonical key IS the content hash —
+// so a bounded LRU of rendered responses and coalescing of identical
+// in-flight requests are both exactly correct, never just heuristics.
+//
+// Coalesced followers share the leader's outcome, whatever it is: if the
+// leader is shed or times out, the followers see the same response. An
+// identical request admitted at the same instant would have met the same
+// fate, and collapsing the duplicates is the point.
+
+// cachedResponse is a fully rendered response body ready to replay.
+type cachedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+	// retryAfterS carries a 429's Retry-After hint through the render.
+	retryAfterS int
+	// cacheable marks responses worth keeping (only 200s: errors are
+	// cheap to recompute and may be transient, e.g. a 429).
+	cacheable bool
+}
+
+// cacheState says how a lookup resolved, for metrics.
+type cacheState int
+
+const (
+	cacheMiss cacheState = iota
+	cacheHit
+	cacheCoalesced
+)
+
+type flight struct {
+	done chan struct{}
+	resp cachedResponse
+}
+
+type entry struct {
+	key  string
+	resp cachedResponse
+}
+
+// queryCache is the LRU + singleflight combination. The zero value is not
+// usable; use newQueryCache.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do resolves key: from the LRU (hit), by waiting on an identical in-flight
+// request (coalesced), or by running fill as the leader (miss). A coalesced
+// caller whose ctx expires first gets ctx.Err instead of waiting forever.
+func (c *queryCache) do(ctx context.Context, key string, fill func() cachedResponse) (cachedResponse, cacheState, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		resp := el.Value.(*entry).resp
+		c.mu.Unlock()
+		return resp, cacheHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, cacheCoalesced, nil
+		case <-ctx.Done():
+			return cachedResponse{}, cacheCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.resp = fill()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.resp.cacheable {
+		c.insert(key, f.resp)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.resp, cacheMiss, nil
+}
+
+// insert adds a response under key and evicts from the cold end; callers
+// hold c.mu.
+func (c *queryCache) insert(key string, resp cachedResponse) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, resp: resp})
+	for c.ll.Len() > c.capacity {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.byKey, cold.Value.(*entry).key)
+	}
+}
+
+// len reports the number of cached entries (for tests).
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okResp(body string) cachedResponse {
+	return cachedResponse{status: 200, contentType: "application/json", body: []byte(body), cacheable: true}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newQueryCache(4)
+	fills := 0
+	fill := func() cachedResponse { fills++; return okResp("a") }
+	ctx := context.Background()
+
+	resp, state, err := c.do(ctx, "k", fill)
+	if err != nil || state != cacheMiss || string(resp.body) != "a" {
+		t.Fatalf("first do = %v %v %v", resp, state, err)
+	}
+	resp, state, err = c.do(ctx, "k", fill)
+	if err != nil || state != cacheHit || string(resp.body) != "a" {
+		t.Fatalf("second do = %v %v %v", resp, state, err)
+	}
+	if fills != 1 {
+		t.Errorf("fills = %d, want 1", fills)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newQueryCache(2)
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		c.do(ctx, k, func() cachedResponse { return okResp(k) })
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	// "a" is the cold entry and must have been evicted; "c" must be warm.
+	refilled := false
+	c.do(ctx, "a", func() cachedResponse { refilled = true; return okResp("a") })
+	if !refilled {
+		t.Error("evicted entry served from cache")
+	}
+	_, state, _ := c.do(ctx, "c", func() cachedResponse { return okResp("c") })
+	if state != cacheHit {
+		t.Errorf("recent entry state = %v, want hit", state)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newQueryCache(4)
+	ctx := context.Background()
+	fills := 0
+	fill := func() cachedResponse {
+		fills++
+		return cachedResponse{status: 429, body: []byte("no"), cacheable: false}
+	}
+	c.do(ctx, "k", fill)
+	c.do(ctx, "k", fill)
+	if fills != 2 {
+		t.Errorf("fills = %d, want 2 (errors must not be cached)", fills)
+	}
+}
+
+func TestCacheCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	c := newQueryCache(4)
+	gate := make(chan struct{})
+	var fills atomic.Int64
+	leaderIn := make(chan struct{})
+	fill := func() cachedResponse {
+		fills.Add(1)
+		close(leaderIn)
+		<-gate
+		return okResp("shared")
+	}
+
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	results := make([]string, 8)
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		resp, _, _ := c.do(context.Background(), "k", fill)
+		results[0] = string(resp.body)
+	}()
+	<-leaderIn
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, state, err := c.do(context.Background(), "k", func() cachedResponse {
+				t.Error("follower ran fill")
+				return okResp("follower")
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			if state == cacheCoalesced {
+				coalesced.Add(1)
+			}
+			results[i] = string(resp.body)
+		}(i)
+	}
+	// Give the followers time to park on the in-flight entry, then let the
+	// leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if fills.Load() != 1 {
+		t.Errorf("fills = %d, want 1", fills.Load())
+	}
+	if coalesced.Load() == 0 {
+		t.Error("no follower was coalesced")
+	}
+	for i, r := range results {
+		if r != "shared" {
+			t.Errorf("request %d got %q, want shared", i, r)
+		}
+	}
+}
+
+func TestCacheCoalescedFollowerHonorsDeadline(t *testing.T) {
+	c := newQueryCache(4)
+	gate := make(chan struct{})
+	defer close(gate)
+	leaderIn := make(chan struct{})
+	go c.do(context.Background(), "k", func() cachedResponse {
+		close(leaderIn)
+		<-gate
+		return okResp("late")
+	})
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, err := c.do(ctx, "k", func() cachedResponse { return okResp("x") })
+	if err == nil {
+		t.Fatal("follower with expired deadline got no error")
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := newQueryCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("k%d", i%16)
+			resp, _, err := c.do(context.Background(), k, func() cachedResponse { return okResp(k) })
+			if err != nil || string(resp.body) != k {
+				t.Errorf("key %s: %v %v", k, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies each lane keeps for
+// percentile estimation. A ring, not a reservoir: under sustained load the
+// percentiles describe the recent past, which is what an operator watching
+// /metricsz wants.
+const latencyWindow = 8192
+
+// laneCounters accumulates one lane's outcome counts and latency samples.
+type laneCounters struct {
+	served    int64 // 2xx responses
+	shed      int64 // 429: admission control refused the work
+	rejected  int64 // 4xx other than shed: the request itself was bad
+	failed    int64 // 5xx
+	timedOut  int64 // 504: the per-request deadline expired mid-work
+	cancelled int64 // client went away before a response was written
+
+	lat  []time.Duration // ring buffer of recent latencies
+	next int
+	n    int
+}
+
+func (lc *laneCounters) observe(d time.Duration) {
+	if lc.lat == nil {
+		lc.lat = make([]time.Duration, latencyWindow)
+	}
+	lc.lat[lc.next] = d
+	lc.next = (lc.next + 1) % latencyWindow
+	if lc.n < latencyWindow {
+		lc.n++
+	}
+}
+
+// Metrics aggregates per-lane outcomes, cache effectiveness and panic
+// counts for the whole server. All methods are safe for concurrent use.
+type Metrics struct {
+	mu      sync.Mutex
+	started time.Time
+	lanes   map[string]*laneCounters
+
+	cacheHits   int64
+	cacheMisses int64
+	coalesced   int64
+	panics      int64
+}
+
+func newMetrics(now time.Time) *Metrics {
+	return &Metrics{started: now, lanes: make(map[string]*laneCounters)}
+}
+
+func (m *Metrics) lane(name string) *laneCounters {
+	lc := m.lanes[name]
+	if lc == nil {
+		lc = &laneCounters{}
+		m.lanes[name] = lc
+	}
+	return lc
+}
+
+// record files one finished request under its lane with the final status
+// code. cancelled marks client-abandoned requests separately: their
+// latency says nothing about the server.
+func (m *Metrics) record(lane string, status int, d time.Duration, cancelled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lc := m.lane(lane)
+	switch {
+	case cancelled:
+		lc.cancelled++
+		return
+	case status >= 200 && status < 300:
+		lc.served++
+	case status == 429:
+		lc.shed++
+	case status == 504:
+		lc.timedOut++
+	case status >= 400 && status < 500:
+		lc.rejected++
+	default:
+		lc.failed++
+	}
+	lc.observe(d)
+}
+
+func (m *Metrics) recordCache(state cacheState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case cacheHit:
+		m.cacheHits++
+	case cacheMiss:
+		m.cacheMisses++
+	case cacheCoalesced:
+		m.coalesced++
+	}
+}
+
+func (m *Metrics) recordPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+// LaneSnapshot is one lane's outcome counts and latency percentiles.
+type LaneSnapshot struct {
+	Served    int64 `json:"served"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+	Failed    int64 `json:"failed"`
+	TimedOut  int64 `json:"timed_out"`
+	Cancelled int64 `json:"cancelled"`
+
+	// Latency percentiles over the most recent latencyWindow requests, in
+	// milliseconds. Zero when the lane has served nothing.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Snapshot is the full server state reported by /metricsz and flushed on
+// drain.
+type Snapshot struct {
+	UptimeS     float64                 `json:"uptime_s"`
+	Lanes       map[string]LaneSnapshot `json:"lanes"`
+	CacheHits   int64                   `json:"cache_hits"`
+	CacheMisses int64                   `json:"cache_misses"`
+	Coalesced   int64                   `json:"coalesced"`
+	Panics      int64                   `json:"panics"`
+}
+
+// Snapshot returns a consistent copy of every counter with percentiles
+// computed.
+func (m *Metrics) Snapshot(now time.Time) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeS:     now.Sub(m.started).Seconds(),
+		Lanes:       make(map[string]LaneSnapshot, len(m.lanes)),
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+		Coalesced:   m.coalesced,
+		Panics:      m.panics,
+	}
+	for name, lc := range m.lanes {
+		ls := LaneSnapshot{
+			Served: lc.served, Shed: lc.shed, Rejected: lc.rejected,
+			Failed: lc.failed, TimedOut: lc.timedOut, Cancelled: lc.cancelled,
+		}
+		if lc.n > 0 {
+			sorted := make([]time.Duration, lc.n)
+			copy(sorted, lc.lat[:lc.n])
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			ls.P50Ms = percentileMs(sorted, 0.50)
+			ls.P95Ms = percentileMs(sorted, 0.95)
+			ls.P99Ms = percentileMs(sorted, 0.99)
+			ls.MaxMs = float64(sorted[len(sorted)-1]) / float64(time.Millisecond)
+		}
+		s.Lanes[name] = ls
+	}
+	return s
+}
+
+// percentileMs returns the q-th percentile of an ascending slice using the
+// nearest-rank method, in milliseconds.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

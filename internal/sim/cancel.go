@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+)
+
+// Real-time cancellation.
+//
+// A simulated run is CPU-bound real work: p goroutines executing the SPMD
+// program. When the caller abandons the run — an HTTP client hangs up, a
+// deadline expires, a sweep is interrupted — the goroutines must actually
+// stop, not keep burning cycles into a result nobody will read. Cost.Context
+// threads a context.Context into the rank runtime for exactly that:
+//
+//   - every instrumented operation (Compute, Send, Recv, SendRecv,
+//     RecvTimeout, SendTimeout) checks a cancellation flag on entry, so a
+//     rank in a compute loop aborts at its next op;
+//   - every blocking select (a full pair buffer, an empty receive queue, a
+//     timed operation) also waits on the cluster's cancel channel, so a
+//     blocked rank is released immediately rather than at its next op.
+//
+// Cancellation is a real-time abort path like the watchdog's: it unwinds
+// each rank with a panic recovered by Run, never rewrites virtual clocks,
+// and leaves the partial per-rank Stats in the Result. Run collapses the
+// per-rank aborts into one error wrapping context.Cause(ctx), so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded tells the
+// caller why the run ended. A run without a context pays one nil check per
+// op and a never-ready nil channel arm per blocking select.
+
+// cancelPanic unwinds a rank whose run context was cancelled; Run recovers
+// it and records a *CancelledError for the rank.
+type cancelPanic struct{}
+
+// CancelledError reports that one rank was aborted because Cost.Context was
+// cancelled. Run collapses these into a single run-level error, so callers
+// normally see that error (which wraps the same Cause) rather than this
+// type; it is exported for completeness and for tests.
+type CancelledError struct {
+	// Rank is the aborted rank's id.
+	Rank int
+	// Cause is context.Cause of the run context at cancellation time.
+	Cause error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("sim: rank %d aborted by run cancellation: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the context cause to errors.Is/errors.As.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// RunContext is Run with ctx bounding the run in real time; see
+// Cost.Context for the semantics. It is a convenience for callers that do
+// not otherwise customize the cost.
+func RunContext(ctx context.Context, p int, cost Cost, fn func(r *Rank) error) (*Result, error) {
+	cost.Context = ctx
+	return Run(p, cost, fn)
+}
+
+// cancelCheck aborts the rank if the run context has been cancelled. It is
+// called (via crashCheck) on entry to every instrumented operation: one
+// atomic load on the hot path, nothing when the run has no context.
+func (r *Rank) cancelCheck() {
+	if r.cluster.cancelCh != nil && r.cluster.cancelled.Load() {
+		panic(cancelPanic{})
+	}
+}
+
+// watchContext propagates ctx's cancellation to the cluster: it writes the
+// cause, sets the flag (release-ordered before the channel close) and closes
+// cancelCh, waking every blocked rank. The watcher exits when the run ends.
+func (c *Cluster) watchContext(ctx context.Context, done <-chan struct{}) {
+	select {
+	case <-ctx.Done():
+		c.cancelCause = context.Cause(ctx)
+		c.cancelled.Store(true)
+		close(c.cancelCh)
+	case <-done:
+	}
+}

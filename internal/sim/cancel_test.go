@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base+slack, failing the test if it never does: the leak detector for the
+// cancellation paths.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain after cancellation: %d now vs %d at start", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelStopsComputeLoop cancels a run whose ranks spin in an infinite
+// compute loop — no blocking operations at all — and checks that every rank
+// goroutine actually stops and the run error names the cause.
+func TestCancelStopsComputeLoop(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once chan struct{} = started
+	go func() {
+		<-started
+		cancel()
+	}()
+	res, err := RunContext(ctx, 4, Cost{GammaT: 1e-9}, func(r *Rank) error {
+		for {
+			if r.ID() == 0 && once != nil {
+				close(once)
+				once = nil
+			}
+			r.Compute(1000)
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false, err = %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil result; partial stats expected")
+	}
+	if res.PerRank[0].Flops == 0 {
+		t.Error("rank 0 recorded no flops before cancellation")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelReleasesBlockedRecv cancels a run where every rank is blocked in
+// Recv on a message that will never come, with the watchdog DISABLED, so
+// only the cancellation path can release them.
+func TestCancelReleasesBlockedRecv(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, 2, Cost{WatchdogTimeout: -1}, func(r *Rank) error {
+			r.Recv((r.ID() + 1) % r.P()) // mutual recv: a hard deadlock
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errors.Is(err, context.Canceled) = false, err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not release ranks blocked in Recv")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelReleasesBlockedTimedRecv covers the RecvTimeout blocking select:
+// a huge virtual timeout with the watchdog disabled blocks forever unless
+// cancellation wakes it.
+func TestCancelReleasesBlockedTimedRecv(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, 2, Cost{WatchdogTimeout: -1}, func(r *Rank) error {
+			r.RecvTimeout((r.ID()+1)%r.P(), 1e12)
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errors.Is(err, context.Canceled) = false, err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not release ranks blocked in RecvTimeout")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelReleasesBlockedSend covers the deliver() blocking select: rank 0
+// floods a pair whose 1-message buffer fills while rank 1 never receives.
+func TestCancelReleasesBlockedSend(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, 2, Cost{ChanCap: 1, WatchdogTimeout: -1}, func(r *Rank) error {
+			if r.ID() == 0 {
+				for i := 0; i < 100; i++ {
+					r.Send(1, []float64{1})
+				}
+				return nil
+			}
+			r.Recv(0) // receive once, then leave rank 0 blocked on the full buffer
+			for {
+				r.Compute(1000)
+			}
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errors.Is(err, context.Canceled) = false, err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not release rank blocked in Send")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelDeadline checks that a context deadline surfaces as
+// context.DeadlineExceeded through the run error.
+func TestCancelDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, 2, Cost{GammaT: 1e-9}, func(r *Rank) error {
+		for {
+			r.Compute(1000)
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) = false, err = %v", err)
+	}
+}
+
+// TestCancelErrorCollapsed checks that a cancelled run reports ONE run-level
+// error, not one per rank, and that CancelledError is reachable for callers
+// that care which ranks died.
+func TestCancelErrorCollapsed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every rank aborts at its first op
+	_, err := RunContext(ctx, 8, Cost{}, func(r *Rank) error {
+		r.Compute(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled run returned nil error")
+	}
+	if got := len(errors.Join(err).Error()); got > 200 {
+		t.Errorf("cancelled run error looks per-rank, not collapsed (%d bytes): %v", got, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false, err = %v", err)
+	}
+}
+
+// TestCancelRealErrorTakesPrecedence checks that a rank failing for a real
+// reason is not masked when the same run is also cancelled afterwards.
+func TestCancelRealErrorTakesPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("real failure")
+	failed := make(chan struct{})
+	go func() {
+		<-failed
+		cancel()
+	}()
+	var fc chan struct{} = failed
+	_, err := RunContext(ctx, 2, Cost{WatchdogTimeout: -1}, func(r *Rank) error {
+		if r.ID() == 0 {
+			if fc != nil {
+				close(fc)
+				fc = nil
+			}
+			return sentinel
+		}
+		for {
+			r.Compute(1000)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("real rank error masked by cancellation: %v", err)
+	}
+}
+
+// TestNoContextUnaffected pins the zero-cost path: a run without a context
+// has a nil cancel channel and must behave exactly as before.
+func TestNoContextUnaffected(t *testing.T) {
+	res, err := Run(2, Cost{}, func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, []float64{1, 2, 3})
+			return nil
+		}
+		got := r.Recv(0)
+		if len(got) != 3 {
+			t.Errorf("recv got %d words, want 3", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("plain run failed: %v", err)
+	}
+	if res.PerRank[1].WordsRecv != 3 {
+		t.Errorf("WordsRecv = %g, want 3", res.PerRank[1].WordsRecv)
+	}
+}

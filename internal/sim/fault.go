@@ -225,8 +225,11 @@ func (fp *FaultPlan) degradeFactors(src, dst int, clock float64) (alphaF, betaF 
 
 // crashCheck fires the rank's scheduled crash once its clock has passed the
 // scheduled time. It is called on entry to every instrumented operation, so
-// the firing point depends only on the deterministic virtual clock.
+// the firing point depends only on the deterministic virtual clock. Being
+// the one hook every operation passes through, it also carries the run's
+// real-time cancellation check (cancel.go).
 func (r *Rank) crashCheck() {
+	r.cancelCheck()
 	fp := r.cluster.cost.Faults
 	if fp == nil || r.crashDone {
 		return

@@ -33,6 +33,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -90,6 +91,14 @@ type Cost struct {
 	// point-to-point programs, drops, sends to exited ranks). Zero means
 	// DefaultWatchdogTimeout; negative disables the watchdog.
 	WatchdogTimeout time.Duration
+	// Context optionally bounds the run in REAL time: when it is cancelled
+	// (deadline, explicit cancel, client hang-up) every rank is aborted at
+	// its next instrumented operation and blocked ranks are released
+	// immediately, so an abandoned run stops consuming CPU. Run collapses
+	// the per-rank aborts into one error wrapping context.Cause, so
+	// errors.Is(err, context.Canceled) or context.DeadlineExceeded reports
+	// why. Nil leaves the run unbounded. See cancel.go.
+	Context context.Context
 }
 
 // linkParams returns the effective per-message latency and per-word time
@@ -194,6 +203,13 @@ type Cluster struct {
 	// the virtual-timer machinery of RecvTimeout/SendTimeout (timer.go).
 	timerDeadline []atomic.Uint64
 	timerCh       []chan struct{}
+
+	// cancelCh is closed — after cancelCause is written and cancelled set —
+	// when Cost.Context is cancelled, waking every blocked rank; nil when
+	// the run has no context. See cancel.go.
+	cancelCh    chan struct{}
+	cancelled   atomic.Bool
+	cancelCause error
 }
 
 // DefaultChanCap is the per-pair queue buffer in messages (override per run
@@ -259,6 +275,9 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 		c.aborts[i] = make(chan struct{})
 		c.exitCh[i] = make(chan struct{})
 		c.timerCh[i] = make(chan struct{}, 1)
+	}
+	if cost.Context != nil {
+		c.cancelCh = make(chan struct{})
 	}
 	return c, nil
 }
@@ -433,6 +452,8 @@ func (r *Rank) deliver(dst int, m message) {
 	select {
 	case ch <- m:
 		r.setState(opRunning, 0)
+	case <-r.cluster.cancelCh:
+		panic(cancelPanic{})
 	case <-r.cluster.aborts[r.id]:
 		panic(abortPanic{err: r.cluster.abortErr[r.id]})
 	}
@@ -470,6 +491,8 @@ func (r *Rank) Recv(src int) []float64 {
 			default:
 				ok = false
 			}
+		case <-r.cluster.cancelCh:
+			panic(cancelPanic{})
 		case <-r.cluster.aborts[r.id]:
 			panic(abortPanic{err: r.cluster.abortErr[r.id]})
 		}
@@ -652,6 +675,11 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 		}
 		go c.watch(stop, timeout)
 	}
+	if ctx := c.cost.Context; ctx != nil {
+		watchDone := make(chan struct{})
+		go c.watchContext(ctx, watchDone)
+		defer close(watchDone)
+	}
 	var wg sync.WaitGroup
 	for id := 0; id < c.p; id++ {
 		wg.Add(1)
@@ -667,6 +695,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 						status = exitCrashed
 					case abortPanic:
 						errs[id] = p.err
+						status = exitAborted
+					case cancelPanic:
+						errs[id] = &CancelledError{Rank: id, Cause: c.cancelCause}
 						status = exitAborted
 					default:
 						if perr, ok := rec.(error); ok {
@@ -700,15 +731,28 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 	res.ActivePairs = c.ActivePairs()
 	// Join every rank's error: a single failure usually cascades into
 	// "peer exited" panics on other ranks, and the root cause must not be
-	// masked by whichever rank id happens to come first.
+	// masked by whichever rank id happens to come first. Cancellation
+	// aborts EVERY rank with the same cause, so those are collapsed into
+	// one run-level error instead of p copies — unless some rank failed
+	// for a real reason first, which then takes precedence.
 	var all []error
+	cancelledRanks := 0
 	for id, err := range errs {
-		if err != nil {
-			all = append(all, fmt.Errorf("rank %d: %w", id, err))
+		if err == nil {
+			continue
 		}
+		var ce *CancelledError
+		if errors.As(err, &ce) {
+			cancelledRanks++
+			continue
+		}
+		all = append(all, fmt.Errorf("rank %d: %w", id, err))
 	}
 	if len(all) > 0 {
 		return res, errors.Join(all...)
+	}
+	if cancelledRanks > 0 {
+		return res, fmt.Errorf("sim: run cancelled (%d of %d ranks aborted): %w", cancelledRanks, c.p, c.cancelCause)
 	}
 	return res, nil
 }

@@ -235,6 +235,8 @@ func (r *Rank) RecvTimeout(src int, timeout float64) ([]float64, RecvOutcome) {
 		exited = true
 	case <-r.cluster.timerCh[r.id]:
 		fired = true
+	case <-r.cluster.cancelCh:
+		panic(cancelPanic{})
 	case <-r.cluster.aborts[r.id]:
 		panic(abortPanic{err: r.cluster.abortErr[r.id]})
 	}
@@ -408,6 +410,8 @@ func (r *Rank) deliverDeadline(dst int, m message, deadline float64) SendOutcome
 		exited = true
 	case <-r.cluster.timerCh[r.id]:
 		fired = true
+	case <-r.cluster.cancelCh:
+		panic(cancelPanic{})
 	case <-r.cluster.aborts[r.id]:
 		panic(abortPanic{err: r.cluster.abortErr[r.id]})
 	}
