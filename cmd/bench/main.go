@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ type runRecord struct {
 	P         int    `json:"p"`
 	N         int    `json:"n"`
 	Wiring    string `json:"wiring"`
+	Runtime   string `json:"runtime"`
 
 	// Host-side footprint of running the simulation.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -66,6 +68,20 @@ type comparison struct {
 	SparseWallS  float64 `json:"sparse_wall_seconds"`
 	DensePairs   int     `json:"dense_active_pairs"`
 	SparsePairs  int     `json:"sparse_active_pairs"`
+}
+
+// backendComparison records a goroutine-vs-event runtime pair at one point:
+// the simulated Results must be bit-identical (same per-rank counters and
+// clocks, same product matrix), and the wall-clock ratio is the event
+// engine's payoff — at p = 16384 the event backend prices the run several
+// times faster, and beyond it only the event backend is feasible at all.
+type backendComparison struct {
+	Algorithm     string  `json:"algorithm"`
+	P             int     `json:"p"`
+	BitIdentical  bool    `json:"bit_identical"`
+	GoroutineWall float64 `json:"goroutine_wall_seconds"`
+	EventWall     float64 `json:"event_wall_seconds"`
+	Speedup       float64 `json:"speedup"`
 }
 
 // traceOverhead records the wall-clock cost of observing a run through the
@@ -104,12 +120,13 @@ type recoveryOverhead struct {
 }
 
 type report struct {
-	Machine       string            `json:"machine"`
-	N             int               `json:"n"`
-	Runs          []runRecord       `json:"runs"`
-	Comparisons   []comparison      `json:"dense_vs_sparse"`
-	TraceOverhead *traceOverhead    `json:"trace_overhead,omitempty"`
-	Recovery      *recoveryOverhead `json:"recovery_overhead,omitempty"`
+	Machine       string              `json:"machine"`
+	N             int                 `json:"n"`
+	Runs          []runRecord         `json:"runs"`
+	Comparisons   []comparison        `json:"dense_vs_sparse"`
+	Backends      []backendComparison `json:"goroutine_vs_event,omitempty"`
+	TraceOverhead *traceOverhead      `json:"trace_overhead,omitempty"`
+	Recovery      *recoveryOverhead   `json:"recovery_overhead,omitempty"`
 	// Conformance is the quick model-conformance sweep (the CI gate), with
 	// its wall time, so the gate's cost is tracked alongside the simulator's
 	// own scaling numbers.
@@ -159,10 +176,19 @@ func main() {
 		mach     = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
 		n        = flag.Int("n", 256, "matrix dimension (must be divisible by every grid size)")
 		big      = flag.Bool("big", true, "include the p=16384 run (sparse wiring only)")
+		huge     = flag.Bool("huge", true, "include the event-backend p=65536..1048576 family")
+		smoke    = flag.Bool("smoke", false, "run only the p=65536 event-backend point and exit (CI smoke)")
 		srv      = flag.Bool("serve", false, "benchmark the query service instead of the simulator")
 		serveOut = flag.String("serveout", "BENCH_serve.json", "output JSON path for -serve")
 	)
 	flag.Parse()
+
+	// The workload is almost all transient garbage (per-step message
+	// payloads) over a small live set, so the default GOGC=100 spends a
+	// large fraction of every row in back-to-back collections. Relax the
+	// target; this applies to every row equally, so comparisons and
+	// speedup ratios are unaffected.
+	debug.SetGCPercent(1000)
 
 	m, err := machine.Resolve(*mach)
 	if err != nil {
@@ -203,23 +229,30 @@ func main() {
 
 	rep := report{Machine: *mach, N: *n}
 
-	measure := func(al algo, pt point, w sim.Wiring) (runRecord, *matmul.RunResult) {
+	measureOn := func(al algo, pt point, w sim.Wiring, rt sim.Runtime, dim int, ma, mb *matrix.Dense) (runRecord, *matmul.RunResult) {
 		c := cost
 		c.Wiring = w
+		c.Runtime = rt
+		// Collect the previous row's garbage before the clock starts: with
+		// the relaxed GC target, an earlier row's heap (the dense p = 1024
+		// matrix is ~1M queues) otherwise lingers into this row's window
+		// and its cache/page pressure inflates the measurement severalfold.
+		runtime.GC()
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		res, err := al.run(c, pt.q, pt.c, a, b)
+		res, err := al.run(c, pt.q, pt.c, ma, mb)
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms1)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s q=%d c=%d (%v): %v\n", al.name, pt.q, pt.c, w, err)
+			fmt.Fprintf(os.Stderr, "%s q=%d c=%d (%v, %v): %v\n", al.name, pt.q, pt.c, w, rt, err)
 			os.Exit(1)
 		}
 		mx := res.Sim.MaxStats()
 		rec := runRecord{
-			Algorithm: al.name, Q: pt.q, C: pt.c, P: pt.q * pt.q * pt.c, N: *n,
+			Algorithm: al.name, Q: pt.q, C: pt.c, P: pt.q * pt.q * pt.c, N: dim,
 			Wiring:       w.String(),
+			Runtime:      rt.String(),
 			WallSeconds:  wall.Seconds(),
 			AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
 			PeakRSSKB:    vmHWM(),
@@ -233,22 +266,64 @@ func main() {
 		}
 		return rec, res
 	}
+	measure := func(al algo, pt point, w sim.Wiring) (runRecord, *matmul.RunResult) {
+		return measureOn(al, pt, w, sim.RuntimeGoroutine, *n, a, b)
+	}
+	printRec := func(rec runRecord) {
+		fmt.Printf("%-12s p=%-7d %-7s %-9s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
+			rec.Algorithm, rec.P, rec.Wiring, rec.Runtime, rec.WallSeconds,
+			rec.ActivePairs, rec.SimTime, rec.EnergyJoules)
+	}
+	// compareBackends runs the same point on the event backend, records its
+	// row, and pins the bit-identical comparison against the goroutine run.
+	compareBackends := func(al algo, pt point, gRec runRecord, gRes *matmul.RunResult) {
+		eRec, eRes := measureOn(al, pt, sim.WiringSparse, sim.RuntimeEvent, *n, a, b)
+		rep.Runs = append(rep.Runs, eRec)
+		printRec(eRec)
+		identical := gRes.C.MaxAbsDiff(eRes.C) == 0
+		for id := range gRes.Sim.PerRank {
+			if gRes.Sim.PerRank[id] != eRes.Sim.PerRank[id] {
+				identical = false
+				break
+			}
+		}
+		rep.Backends = append(rep.Backends, backendComparison{
+			Algorithm: al.name, P: gRec.P,
+			BitIdentical:  identical,
+			GoroutineWall: gRec.WallSeconds,
+			EventWall:     eRec.WallSeconds,
+			Speedup:       gRec.WallSeconds / eRec.WallSeconds,
+		})
+		if !identical {
+			fmt.Fprintf(os.Stderr, "%s p=%d: goroutine and event results DIVERGED\n", al.name, gRec.P)
+			os.Exit(1)
+		}
+	}
+
+	if *smoke {
+		// CI smoke: one p = 65536 event-backend run proves the engine still
+		// hosts scales the goroutine runtime cannot, without paying for the
+		// full sweep. No report is written.
+		const smokeN = 512
+		sa := matrix.Random(smokeN, smokeN, 3)
+		sb := matrix.Random(smokeN, smokeN, 4)
+		rec, _ := measureOn(algos[0], point{q: 128, c: 4}, sim.WiringSparse, sim.RuntimeEvent, smokeN, sa, sb)
+		printRec(rec)
+		return
+	}
 
 	for _, al := range algos {
 		for _, pt := range points {
 			sparseRec, sparseRes := measure(al, pt, sim.WiringSparse)
 			rep.Runs = append(rep.Runs, sparseRec)
-			fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
-				al.name, sparseRec.P, sparseRec.Wiring, sparseRec.WallSeconds,
-				sparseRec.ActivePairs, sparseRec.SimTime, sparseRec.EnergyJoules)
+			printRec(sparseRec)
+			compareBackends(al, pt, sparseRec, sparseRes)
 			if !pt.denseToo {
 				continue
 			}
 			denseRec, denseRes := measure(al, pt, sim.WiringDense)
 			rep.Runs = append(rep.Runs, denseRec)
-			fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
-				al.name, denseRec.P, denseRec.Wiring, denseRec.WallSeconds,
-				denseRec.ActivePairs, denseRec.SimTime, denseRec.EnergyJoules)
+			printRec(denseRec)
 
 			identical := denseRes.C.MaxAbsDiff(sparseRes.C) == 0
 			for id := range denseRes.Sim.PerRank {
@@ -381,13 +456,34 @@ func main() {
 	if *big {
 		// The scale demonstration: p = 16384 under sparse wiring only.
 		// Dense wiring would allocate p² = 268M queues (hundreds of GB of
-		// channel buffers) before the first simulated flop.
+		// channel buffers) before the first simulated flop. Both runtimes
+		// run it; the comparison pins the event engine's speedup where the
+		// goroutine backend is still feasible.
 		al := algos[0]
-		rec, _ := measure(al, bigPoint, sim.WiringSparse)
+		rec, res := measure(al, bigPoint, sim.WiringSparse)
 		rep.Runs = append(rep.Runs, rec)
-		fmt.Printf("%-12s p=%-6d %-7s wall=%8.3fs pairs=%-8d T=%.4gs E=%.4gJ\n",
-			al.name, rec.P, rec.Wiring, rec.WallSeconds,
-			rec.ActivePairs, rec.SimTime, rec.EnergyJoules)
+		printRec(rec)
+		compareBackends(al, bigPoint, rec, res)
+	}
+
+	if *huge {
+		// Beyond the goroutine backend: the event engine prices runs the
+		// per-rank-goroutine runtime cannot host in reasonable wall time.
+		// n = 512 keeps every grid size a divisor; the p = 1048576 row is
+		// the headline — a million simulated ranks on one host.
+		al := algos[0]
+		const hugeN = 512
+		ha := matrix.Random(hugeN, hugeN, 3)
+		hb := matrix.Random(hugeN, hugeN, 4)
+		for _, pt := range []point{
+			{q: 128, c: 4},  // p = 65536
+			{q: 128, c: 16}, // p = 262144
+			{q: 256, c: 16}, // p = 1048576
+		} {
+			rec, _ := measureOn(al, pt, sim.WiringSparse, sim.RuntimeEvent, hugeN, ha, hb)
+			rep.Runs = append(rep.Runs, rec)
+			printRec(rec)
+		}
 	}
 
 	// The conformance gate's wall time, measured on the same host as the

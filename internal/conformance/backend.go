@@ -1,0 +1,246 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"perfscale/internal/matmul"
+	"perfscale/internal/matrix"
+	"perfscale/internal/resilience"
+	"perfscale/internal/sim"
+)
+
+// The backend family is the contract between the two simulator runtimes:
+// the goroutine backend (one live goroutine per rank, the reference
+// semantics) and the event backend (cooperative continuations on a
+// virtual-time run queue, the million-rank engine). Any valid scheduling of
+// the deterministic clock rules must give the same answer, so the family
+// demands bitwise equality — per-rank F/W/S/M counters, clocks, ActivePairs,
+// and per-rank observer event streams — never tolerance bands:
+//
+//   - every algorithm in the registry runs once per backend at a quick
+//     point and the Results must be identical (this covers the event
+//     engine's fast-forward path, which prices whole collectives without
+//     scheduling their member ranks);
+//   - the same comparison repeats with an observer attached, which
+//     disqualifies fast-forward and forces the event-by-event slow path,
+//     and the per-rank segment streams must match element for element
+//     (cross-rank interleaving is unordered by contract and not compared);
+//   - a seeded chaos plan — silent drops, duplications, corruptions — runs
+//     through the ARQ endpoints on both backends: recovery is virtual-time
+//     state machinery, so stats, the product matrix, the ARQ protocol
+//     counters and the per-rank fault/timer streams must all replay
+//     bitwise across backends.
+func checkBackend(ck *checker, cfg Config) error {
+	if err := backendAlgorithmIdentity(ck, cfg); err != nil {
+		return err
+	}
+	if err := backendObserverIdentity(ck, cfg); err != nil {
+		return err
+	}
+	// One seed suffices: this is an identity check between backends, not a
+	// fault-coverage sweep (the replay and recovery families cover every
+	// seed), and the goroutine leg pays a real-time quiescence window per
+	// masked drop.
+	return backendChaosIdentity(ck, cfg, cfg.Seeds[0])
+}
+
+// eventCost flips a cost to the event backend.
+func eventCost(cost sim.Cost) sim.Cost {
+	cost.Runtime = sim.RuntimeEvent
+	return cost
+}
+
+// backendPoint picks the one sweep coordinate per algorithm the identity
+// check runs at: the first quick point keeps the family inside the CI
+// budget while still touching every collective each algorithm uses.
+func backendPoint(alg algorithmDef) Point { return alg.points(Quick)[0] }
+
+// backendAlgorithmIdentity runs every registry algorithm on both backends
+// and requires bitwise-identical Results. No observer or fault plan is
+// attached, so the event engine takes its fast-forward path for every
+// cluster-wide collective — this is the check that pins fast-forward
+// pricing to the reference semantics.
+func backendAlgorithmIdentity(ck *checker, cfg Config) error {
+	for _, alg := range selectAlgorithms(cfg.Algorithms) {
+		pt := backendPoint(alg)
+		ref, err := alg.run(cfg.cost(), cfg.Machine, pt)
+		if err != nil {
+			return fmt.Errorf("conformance: backend %s %s (goroutine): %w", alg.name, pt, err)
+		}
+		ev, err := alg.run(eventCost(cfg.cost()), cfg.Machine, pt)
+		if err != nil {
+			return fmt.Errorf("conformance: backend %s %s (event): %w", alg.name, pt, err)
+		}
+		rank, same := statsIdentical(ref.res, ev.res)
+		ck.checkTrue("backend/per-rank-stats", alg.name, pt, "",
+			same, float64(rank), -1,
+			"per-rank stats differ between goroutine and event backends (first differing rank in Got)")
+		ck.checkTrue("backend/active-pairs", alg.name, pt, "",
+			ref.res.ActivePairs == ev.res.ActivePairs,
+			float64(ref.res.ActivePairs), float64(ev.res.ActivePairs),
+			"wired pair count differs between goroutine and event backends")
+	}
+	return nil
+}
+
+// streamObs records per-rank observer streams for cross-backend comparison.
+// One mutex suffices: the goroutine backend delivers from many rank
+// goroutines, the event backend from its worker pool.
+type streamObs struct {
+	mu     sync.Mutex
+	segs   map[int][]sim.Segment
+	faults map[int][]sim.FaultEvent
+	timers map[int][]sim.TimerEvent
+}
+
+func newStreamObs() *streamObs {
+	return &streamObs{
+		segs:   map[int][]sim.Segment{},
+		faults: map[int][]sim.FaultEvent{},
+		timers: map[int][]sim.TimerEvent{},
+	}
+}
+
+func (o *streamObs) add(rank int, seg sim.Segment) {
+	o.mu.Lock()
+	o.segs[rank] = append(o.segs[rank], seg)
+	o.mu.Unlock()
+}
+
+func (o *streamObs) OnCompute(rank int, seg sim.Segment) { o.add(rank, seg) }
+func (o *streamObs) OnSend(rank int, seg sim.Segment)    { o.add(rank, seg) }
+func (o *streamObs) OnRecv(rank int, seg sim.Segment)    { o.add(rank, seg) }
+func (o *streamObs) OnPhase(int, string, float64)        {}
+func (o *streamObs) OnFault(ev sim.FaultEvent) {
+	o.mu.Lock()
+	o.faults[ev.Src] = append(o.faults[ev.Src], ev)
+	o.mu.Unlock()
+}
+func (o *streamObs) OnCrash(sim.CrashEvent)       {}
+func (o *streamObs) OnDeadlock(sim.DeadlockEvent) {}
+func (o *streamObs) OnTimer(ev sim.TimerEvent) {
+	o.mu.Lock()
+	o.timers[ev.Rank] = append(o.timers[ev.Rank], ev)
+	o.mu.Unlock()
+}
+
+// diffStreams returns the first rank whose recorded stream differs between
+// the two observers, or -1 if all match.
+func diffStreams(a, b *streamObs, p int) int {
+	for rank := 0; rank < p; rank++ {
+		if len(a.segs[rank]) != len(b.segs[rank]) {
+			return rank
+		}
+		for i := range a.segs[rank] {
+			if a.segs[rank][i] != b.segs[rank][i] {
+				return rank
+			}
+		}
+		if len(a.faults[rank]) != len(b.faults[rank]) {
+			return rank
+		}
+		for i := range a.faults[rank] {
+			if a.faults[rank][i] != b.faults[rank][i] {
+				return rank
+			}
+		}
+		if len(a.timers[rank]) != len(b.timers[rank]) {
+			return rank
+		}
+		for i := range a.timers[rank] {
+			if a.timers[rank][i] != b.timers[rank][i] {
+				return rank
+			}
+		}
+	}
+	return -1
+}
+
+// backendObserverIdentity repeats the identity check for one algorithm with
+// an observer subscribed. The observer disqualifies fast-forward, so this
+// run exercises the event engine's event-by-event slow path, and the
+// per-rank segment streams must match the goroutine backend's element for
+// element.
+func backendObserverIdentity(ck *checker, cfg Config) error {
+	const alg = "matmul-2.5d"
+	pt := Point{N: 48, Q: 4, C: 2, P: 32}
+	a := matrix.Random(pt.N, pt.N, 51)
+	b := matrix.Random(pt.N, pt.N, 52)
+	run := func(cost sim.Cost) (*matmul.RunResult, *streamObs, error) {
+		obs := newStreamObs()
+		cost.Observers = []sim.Observer{obs}
+		res, err := matmul.TwoPointFiveD(cost, pt.Q, pt.C, a, b)
+		return res, obs, err
+	}
+	ref, refObs, err := run(cfg.cost())
+	if err != nil {
+		return fmt.Errorf("conformance: backend observer %s (goroutine): %w", pt, err)
+	}
+	ev, evObs, err := run(eventCost(cfg.cost()))
+	if err != nil {
+		return fmt.Errorf("conformance: backend observer %s (event): %w", pt, err)
+	}
+	rank, same := statsIdentical(ref.Sim, ev.Sim)
+	ck.checkTrue("backend/observed-per-rank-stats", alg, pt, "",
+		same, float64(rank), -1,
+		"observed (slow-path) per-rank stats differ between backends (first differing rank in Got)")
+	diff := diffStreams(refObs, evObs, pt.P)
+	ck.checkTrue("backend/observer-stream", alg, pt, "",
+		diff < 0, float64(diff), -1,
+		"per-rank observer event streams differ between backends (first differing rank in Got)")
+	return nil
+}
+
+// backendChaosIdentity replays one seeded chaos plan — drops, duplications
+// and corruptions masked by the ARQ endpoints — on both backends and
+// requires the complete outcome to match bitwise: per-rank stats, the
+// product matrix, the protocol counters, and the per-rank fault and timer
+// streams.
+func backendChaosIdentity(ck *checker, cfg Config, seed uint64) error {
+	const alg = "summa-arq"
+	pt := Point{N: 32, P: 16, Q: 4}
+	a := matrix.Random(pt.N, pt.N, 61)
+	b := matrix.Random(pt.N, pt.N, 62)
+	nb := pt.N / pt.Q
+	run := func(cost sim.Cost) (*resilience.SUMMAARQResult, *streamObs, error) {
+		arqCfg := resilience.ARQDefaults(cost, nb*nb)
+		arqCfg.MaxAttempts = 3
+		arqCfg.MaxRTO = 8 * arqCfg.RTO
+		obs := newStreamObs()
+		cost.Observers = []sim.Observer{obs}
+		cost.Faults = recoveryFaults(seed)
+		// Timer outcomes are a pure function of virtual deadlines, so a
+		// short quiescence window changes nothing but the goroutine leg's
+		// wall clock (each masked drop costs one window; the event leg
+		// detects quiescence exactly and ignores this).
+		cost.WatchdogTimeout = 100 * time.Millisecond
+		res, err := resilience.SUMMAARQ(cost, pt.Q, arqCfg, a, b)
+		return res, obs, err
+	}
+	ref, refObs, err := run(cfg.cost())
+	if err != nil {
+		return fmt.Errorf("conformance: backend chaos seed %#x (goroutine): %w", seed, err)
+	}
+	ev, evObs, err := run(eventCost(cfg.cost()))
+	if err != nil {
+		return fmt.Errorf("conformance: backend chaos seed %#x (event): %w", seed, err)
+	}
+	rank, same := statsIdentical(ref.Sim, ev.Sim)
+	ck.checkTrue("backend/chaos-per-rank-stats", alg, pt, "",
+		same, float64(rank), -1,
+		fmt.Sprintf("seed %#x: chaos per-rank stats differ between backends (first differing rank in Got)", seed))
+	ck.checkTrue("backend/chaos-numerics", alg, pt, "",
+		ref.C.MaxAbsDiff(ev.C) == 0, ref.C.MaxAbsDiff(ev.C), 0,
+		fmt.Sprintf("seed %#x: product differs between backends", seed))
+	refRep, evRep := ref.Report(), ev.Report()
+	ck.checkTrue("backend/chaos-arq-counters", alg, pt, "",
+		refRep == evRep, float64(refRep.Retransmits), float64(evRep.Retransmits),
+		fmt.Sprintf("seed %#x: ARQ protocol counters differ between backends (goroutine %+v, event %+v)", seed, refRep, evRep))
+	diff := diffStreams(refObs, evObs, pt.P)
+	ck.checkTrue("backend/chaos-observer-stream", alg, pt, "",
+		diff < 0, float64(diff), -1,
+		fmt.Sprintf("seed %#x: per-rank fault/timer/segment streams differ between backends (first differing rank in Got)", seed))
+	return nil
+}

@@ -79,8 +79,8 @@ func Cannon(cost sim.Cost, q int, a, b *matrix.Dense) (*RunResult, error) {
 			matrix.MulAdd(cBlk, aBlk, bBlk)
 			r.Compute(matrix.MulFlops(nb, nb, nb))
 			if step < q-1 {
-				aBlk = matrix.FromData(nb, nb, rowComm.Shift(aBlk.Data, -1))
-				bBlk = matrix.FromData(nb, nb, colComm.Shift(bBlk.Data, -1))
+				aBlk.Data = rowComm.ShiftOwned(aBlk.Data, -1)
+				bBlk.Data = colComm.ShiftOwned(bBlk.Data, -1)
 			}
 		}
 		cBlocks[r.ID()] = cBlk

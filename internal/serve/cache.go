@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"net/http"
 	"sync"
 )
 
@@ -97,15 +98,32 @@ func (c *queryCache) do(ctx context.Context, key string, fill func() cachedRespo
 	c.inflight[key] = f
 	c.mu.Unlock()
 
+	// The leader must clear the flight and release its followers no matter
+	// how fill exits. Without the defer, a panicking fill leaves the key in
+	// c.inflight forever: current followers hang until their own contexts
+	// expire, and every future request for the key coalesces onto a flight
+	// that will never close. Followers of a panicked leader get a rendered
+	// 500 — an identical request would have hit the same panic — and the
+	// panic itself keeps unwinding into the middleware's recovery.
+	filled := false
+	defer func() {
+		if !filled {
+			f.resp = renderError(&apiError{
+				Status: http.StatusInternalServerError,
+				Code:   "internal",
+				Detail: "query computation panicked",
+			})
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.resp.cacheable {
+			c.insert(key, f.resp)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
 	f.resp = fill()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.resp.cacheable {
-		c.insert(key, f.resp)
-	}
-	c.mu.Unlock()
-	close(f.done)
+	filled = true
 	return f.resp, cacheMiss, nil
 }
 

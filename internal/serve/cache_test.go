@@ -147,6 +147,89 @@ func TestCacheCoalescedFollowerHonorsDeadline(t *testing.T) {
 	}
 }
 
+// TestCachePanickingLeaderReleasesKey is the wedged-key regression test:
+// before the deferred cleanup in do, a fill that panicked left its key in
+// the in-flight table forever, so every later request for that key
+// coalesced onto a flight that would never close.
+func TestCachePanickingLeaderReleasesKey(t *testing.T) {
+	c := newQueryCache(4)
+	ctx := context.Background()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leader's panic did not propagate out of do")
+			}
+		}()
+		c.do(ctx, "k", func() cachedResponse { panic("boom") })
+	}()
+
+	// The key must be free again: a second request becomes a fresh leader
+	// and completes instead of hanging on the dead flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, state, err := c.do(ctx, "k", func() cachedResponse { return okResp("retry") })
+		if err != nil || state != cacheMiss || string(resp.body) != "retry" {
+			t.Errorf("retry after panic = %v %v %v, want fresh miss", resp, state, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second request for the panicked key hung")
+	}
+}
+
+// TestCachePanickingLeaderReleasesFollowers checks the other half of the
+// cleanup: followers already parked on the flight when the leader panics
+// must wake with a rendered 500, not block until their contexts expire.
+func TestCachePanickingLeaderReleasesFollowers(t *testing.T) {
+	c := newQueryCache(4)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }()
+		c.do(context.Background(), "k", func() cachedResponse {
+			close(leaderIn)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-leaderIn
+
+	followerDone := make(chan cachedResponse, 1)
+	go func() {
+		resp, state, err := c.do(context.Background(), "k", func() cachedResponse {
+			t.Error("follower ran fill")
+			return okResp("follower")
+		})
+		if err != nil || state != cacheCoalesced {
+			t.Errorf("follower outcome = %v %v, want coalesced", state, err)
+		}
+		followerDone <- resp
+	}()
+	// Let the follower park on the flight, then spring the panic.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	select {
+	case resp := <-followerDone:
+		if resp.status != 500 {
+			t.Errorf("follower of panicked leader got status %d, want 500", resp.status)
+		}
+		if resp.cacheable {
+			t.Error("panic response marked cacheable")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower hung after the leader panicked")
+	}
+	if c.len() != 0 {
+		t.Errorf("cache len = %d after panic, want 0", c.len())
+	}
+}
+
 func TestCacheConcurrentDistinctKeys(t *testing.T) {
 	c := newQueryCache(64)
 	var wg sync.WaitGroup

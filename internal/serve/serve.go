@@ -286,7 +286,10 @@ func (s *Server) managed(laneName string, defaultDeadline time.Duration, h query
 		defer s.untrack(id)
 
 		h(ctx, w, req)
-		if req.Context().Err() != nil {
+		// The ?deadline_ms timeout lives on the derived ctx, not on
+		// req.Context(), so checking the request context here missed every
+		// deadline expiry and undercounted cancellations.
+		if ctx.Err() != nil {
 			cancelled = true
 		}
 	})

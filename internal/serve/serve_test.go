@@ -165,6 +165,46 @@ func TestSimulateSummary(t *testing.T) {
 	}
 }
 
+// TestSimulateRuntimeParam drives /simulate through both simulator
+// backends: ?runtime=event must answer with the same virtual time and
+// energy as the goroutine default (the backends are pinned bitwise by the
+// conformance suite), occupy its own cache entry, and reject unknown
+// runtime names with a 400.
+func TestSimulateRuntimeParam(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, gor, hdr := get(t, ts.URL+"/simulate?alg=matmul25d&n=64&q=4&c=1")
+	if code != 200 {
+		t.Fatalf("goroutine simulate = %d %v", code, gor)
+	}
+	if gor["runtime"] != "goroutine" {
+		t.Errorf("default runtime = %v, want goroutine", gor["runtime"])
+	}
+	_ = hdr
+
+	code, ev, hdr := get(t, ts.URL+"/simulate?alg=matmul25d&n=64&q=4&c=1&runtime=event")
+	if code != 200 {
+		t.Fatalf("event simulate = %d %v", code, ev)
+	}
+	if ev["runtime"] != "event" {
+		t.Errorf("event runtime = %v", ev["runtime"])
+	}
+	// A distinct backend is a distinct canonical tuple: the event request
+	// must not replay the goroutine run from the cache.
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("event request X-Cache = %q, want miss", hdr.Get("X-Cache"))
+	}
+	for _, field := range []string{"sim_time_s", "total_energy_j", "active_pairs"} {
+		if ev[field] != gor[field] {
+			t.Errorf("%s differs across backends: event %v vs goroutine %v", field, ev[field], gor[field])
+		}
+	}
+
+	code, body, _ := get(t, ts.URL+"/simulate?n=64&q=4&runtime=fibers")
+	if code != 400 || body["error"] != "bad_request" {
+		t.Errorf("bad runtime = %d %v, want 400 bad_request", code, body)
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	for _, q := range []string{
@@ -309,8 +349,31 @@ func TestGracefulDrain(t *testing.T) {
 	if !strings.Contains(sink.String(), "lanes") {
 		t.Errorf("metrics sink not flushed on drain: %q", sink.String())
 	}
-	if snap.Lanes["heavy"].TimedOut != 1 {
-		t.Errorf("heavy timed_out = %d, want 1 (the force-cancelled request)", snap.Lanes["heavy"].TimedOut)
+	// The forced cancel lands on the derived request context, so the
+	// request counts as cancelled — its latency says nothing about the
+	// server — not as a server-side timeout.
+	if snap.Lanes["heavy"].Cancelled != 1 {
+		t.Errorf("heavy cancelled = %d, want 1 (the force-cancelled request)", snap.Lanes["heavy"].Cancelled)
+	}
+}
+
+// TestDeadlineExpiryCountsCancelled pins the accounting for ?deadline_ms:
+// the timeout lives on the context derived inside the middleware, not on
+// req.Context(), so the middleware must consult the derived context or it
+// undercounts every deadline expiry.
+func TestDeadlineExpiryCountsCancelled(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.testHeavyHold = func(ctx context.Context) { <-ctx.Done() }
+	code, _, _ := get(t, ts.URL+"/simulate?n=32&q=2&deadline_ms=50")
+	if code != 504 {
+		t.Fatalf("expired simulate = %d, want 504", code)
+	}
+	snap := s.metrics.Snapshot(time.Now())
+	if snap.Lanes["heavy"].Cancelled != 1 {
+		t.Errorf("heavy cancelled = %d, want 1 (deadline_ms expiry)", snap.Lanes["heavy"].Cancelled)
+	}
+	if snap.Lanes["heavy"].TimedOut != 0 {
+		t.Errorf("heavy timed_out = %d, want 0", snap.Lanes["heavy"].TimedOut)
 	}
 }
 

@@ -14,6 +14,11 @@ type Comm struct {
 	rank    *Rank
 	members []int // global rank ids
 	me      int   // index of rank in members
+
+	// ffm memoizes the membership identity used to rendezvous conducted
+	// collectives under the event engine (see comm_ff.go).
+	ffm    ffMemb
+	ffmSet bool
 }
 
 // World returns the communicator containing every rank of the cluster.
@@ -29,16 +34,56 @@ func (r *Rank) World() *Comm {
 // rank must appear in members exactly once; every member must construct the
 // communicator with an identical members slice.
 func (r *Rank) NewComm(members []int) (*Comm, error) {
+	c, err := r.newCommOwned(members)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]int, len(members))
+	copy(cp, members)
+	c.members = cp
+	return c, nil
+}
+
+// newCommOwned is NewComm without the defensive copy, for constructors
+// (grid helpers, Split) that build the member slice themselves and hand
+// over ownership. Algorithms build a handful of communicators per rank,
+// so at p = 16384 the copies — and NewComm's old per-call validation
+// map, ~1.5 KB each — were a measurable slice of a whole run's garbage.
+func (r *Rank) newCommOwned(members []int) (*Comm, error) {
+	c, err := r.newCommTrusted(members)
+	if err != nil {
+		return nil, err
+	}
+	if len(members) <= 128 {
+		for i, id := range members {
+			for _, other := range members[:i] {
+				if other == id {
+					return nil, fmt.Errorf("sim: duplicate communicator member %d", id)
+				}
+			}
+		}
+	} else {
+		seen := make(map[int]bool, len(members))
+		for _, id := range members {
+			if seen[id] {
+				return nil, fmt.Errorf("sim: duplicate communicator member %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	return c, nil
+}
+
+// newCommTrusted is newCommOwned without the duplicate scan, for generated
+// member lists whose construction makes duplicates impossible (grid rows,
+// columns and fibers). The duplicate scan is quadratic in the member count;
+// on a 16384-rank 2.5D run the grid helpers alone were ~100M comparisons.
+func (r *Rank) newCommTrusted(members []int) (*Comm, error) {
 	me := -1
-	seen := make(map[int]bool, len(members))
 	for i, id := range members {
 		if id < 0 || id >= r.P() {
 			return nil, fmt.Errorf("sim: communicator member %d out of range [0,%d)", id, r.P())
 		}
-		if seen[id] {
-			return nil, fmt.Errorf("sim: duplicate communicator member %d", id)
-		}
-		seen[id] = true
 		if id == r.id {
 			me = i
 		}
@@ -46,9 +91,7 @@ func (r *Rank) NewComm(members []int) (*Comm, error) {
 	if me < 0 {
 		return nil, fmt.Errorf("sim: rank %d not a member of communicator %v", r.id, members)
 	}
-	cp := make([]int, len(members))
-	copy(cp, members)
-	return &Comm{rank: r, members: cp, me: me}, nil
+	return &Comm{rank: r, members: members, me: me}, nil
 }
 
 // Size returns the number of members.
@@ -99,9 +142,34 @@ func (c *Comm) Shift(data []float64, by int) []float64 {
 		copy(cp, data)
 		return cp
 	}
+	// Unlike the tree collectives, a shift is already pairwise: conducting
+	// it through a fast-forward rendezvous would park all s members behind
+	// one conductor, where the direct send+recv parks a member only when
+	// its source genuinely hasn't run yet. Every member takes this branch
+	// or none do (the decision depends only on the op), so the per-pair
+	// FIFO streams stay aligned with the conducted collectives around it.
 	dst := (c.me + by) % p
 	src := (c.me - by + p) % p
 	c.send(dst, data)
+	return c.recv(src)
+}
+
+// ShiftOwned is Shift with ownership transfer: the caller surrenders data
+// to the communicator, which may forward the buffer without the defensive
+// copy Send otherwise pays. data must not be read or written after the
+// call. Virtual time, counters and the received values are identical to
+// Shift — the copy was never observable — but the inner loops of the
+// Cannon-style algorithms, which shift a buffer they are about to
+// overwrite anyway, shed one allocation and copy per step per rank.
+func (c *Comm) ShiftOwned(data []float64, by int) []float64 {
+	p := len(c.members)
+	by = ((by % p) + p) % p
+	if by == 0 {
+		return data
+	}
+	dst := (c.me + by) % p
+	src := (c.me - by + p) % p
+	c.rank.sendOwned(c.members[dst], data)
 	return c.recv(src)
 }
 
@@ -110,6 +178,9 @@ func (c *Comm) Shift(data []float64, by int) []float64 {
 // of data on the root.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	p := len(c.members)
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffBcast, data, root, nil)
+	}
 	// Rotate indices so the root is virtual index 0.
 	vme := (c.me - root + p) % p
 	var buf []float64
@@ -151,6 +222,9 @@ func nextPow2(n int) int {
 // equal-length slices. The caller's data is not modified.
 func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 	p := len(c.members)
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffReduce, data, root, op)
+	}
 	vme := (c.me - root + p) % p
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -198,6 +272,9 @@ func (c *Comm) AllGather(block []float64) []float64 {
 	if p == 1 {
 		return out
 	}
+	if e := c.ffEngine(); e != nil {
+		return e.ffRun(c, ffAllGather, block, 0, nil)
+	}
 	cur := make([]float64, k)
 	copy(cur, block)
 	next := (c.me + 1) % p
@@ -224,6 +301,9 @@ func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
 		out := make([]float64, k)
 		copy(out, data)
 		return out
+	}
+	if e := c.ffEngine(); e != nil {
+		return e.ffRun(c, ffReduceScatter, data, 0, op)
 	}
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -255,6 +335,9 @@ func (c *Comm) AllToAll(data []float64) []float64 {
 	if len(data)%p != 0 {
 		panic(fmt.Sprintf("sim: AllToAll length %d not divisible by %d", len(data), p))
 	}
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffAllToAll, data, 0, nil)
+	}
 	k := len(data) / p
 	out := make([]float64, len(data))
 	copy(out[c.me*k:(c.me+1)*k], data[c.me*k:(c.me+1)*k])
@@ -277,6 +360,9 @@ func (c *Comm) AllToAllTree(data []float64) []float64 {
 	p := len(c.members)
 	if len(data)%p != 0 {
 		panic(fmt.Sprintf("sim: AllToAllTree length %d not divisible by %d", len(data), p))
+	}
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffAllToAllTree, data, 0, nil)
 	}
 	k := len(data) / p
 	// Phase 1: local rotation so block for member (me+j)%p sits at slot j.
@@ -327,6 +413,9 @@ func (c *Comm) Barrier() {
 // to the root.
 func (c *Comm) Gather(root int, chunk []float64) []float64 {
 	p := len(c.members)
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffGather, chunk, root, nil)
+	}
 	if c.me != root {
 		c.send(root, chunk)
 		return nil
@@ -354,6 +443,11 @@ func (c *Comm) BcastLarge(root int, data []float64) []float64 {
 	p := len(c.members)
 	if p == 1 {
 		return c.Bcast(root, data)
+	}
+	if e := c.ffEngine(); e != nil {
+		// Conducted as one composite rendezvous: announcement, scatter and
+		// all-gather cost a member one park instead of three-plus.
+		return e.ffRun(c, ffBcastLarge, data, root, nil)
 	}
 	var k int
 	if c.me == root {
@@ -396,6 +490,9 @@ func (c *Comm) ReduceLarge(root int, data []float64, op ReduceOp) []float64 {
 	if p == 1 || len(data) < p || len(data)%p != 0 {
 		return c.Reduce(root, data, op)
 	}
+	if e := c.ffEngine(); e != nil {
+		return e.ffRun(c, ffReduceLarge, data, root, op)
+	}
 	chunk := c.ReduceScatter(data, op)
 	gathered := c.Gather(root, chunk)
 	return gathered
@@ -406,10 +503,13 @@ func (c *Comm) ReduceLarge(root int, data []float64, op ReduceOp) []float64 {
 // member gets its own k-word chunk back.
 func (c *Comm) Scatter(root int, data []float64) []float64 {
 	p := len(c.members)
+	if c.me == root && len(data)%p != 0 {
+		panic(fmt.Sprintf("sim: Scatter length %d not divisible by %d", len(data), p))
+	}
+	if e := c.ffEngine(); e != nil && p > 1 {
+		return e.ffRun(c, ffScatter, data, root, nil)
+	}
 	if c.me == root {
-		if len(data)%p != 0 {
-			panic(fmt.Sprintf("sim: Scatter length %d not divisible by %d", len(data), p))
-		}
 		k := len(data) / p
 		for i := 0; i < p; i++ {
 			if i == root {
@@ -448,5 +548,5 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	for i, e := range mine {
 		members[i] = c.members[e.member]
 	}
-	return c.rank.NewComm(members)
+	return c.rank.newCommOwned(members)
 }

@@ -1,0 +1,819 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The event-driven runtime (Cost.Runtime = RuntimeEvent).
+//
+// The default runtime keeps every rank live on its own goroutine and lets
+// the Go scheduler multiplex them: a blocked receive is a 4-way select, a
+// hang is detected by a real-time watchdog polling atomic state words, and
+// every block/unblock pays scheduler fairness machinery that knows nothing
+// about the simulation. That tops out around p≈16k ranks.
+//
+// The event engine replaces the scheduler with a cooperative run-to-block
+// core of its own. Ranks still execute on goroutines — an SPMD function is
+// an opaque closure whose stack must live somewhere — but a goroutine only
+// runs while the engine has explicitly handed it one of a bounded number of
+// worker slots. When a rank would block (empty receive queue, full send
+// buffer, a collective rendezvous), it parks: it registers what it waits
+// for, hands its slot to the next runnable rank, and sleeps on a one-token
+// resume channel until the engine wakes it with a reason. Runnable ranks
+// wait in per-shard min-heaps ordered by virtual clock (ties by rank id) —
+// the sharded virtual-time event queue — so execution tends to proceed in
+// causal waves and a wake is delivered exactly when the awaited condition
+// holds, never as a poll.
+//
+// This buys three things over the goroutine backend:
+//
+//   - blocking costs one mutex + one channel token instead of a multi-way
+//     select registered on four wait queues;
+//   - quiescence is exact: the engine knows the instant the run queue is
+//     empty and every live rank is parked, so deadlock detection and
+//     virtual-timer firing (timer.go) are immediate and deterministic
+//     instead of a real-time watchdog window (Cost.WatchdogTimeout is
+//     ignored under the event runtime);
+//   - collectives can be fast-forwarded: when no fault plan, observer or
+//     cancel context can touch a run (see ffEligible), a collective's whole
+//     message schedule is conducted centrally by its last-arriving member
+//     in one pass (comm_ff.go), eliminating the per-round park/resume
+//     cycles entirely.
+//
+// Results are bit-identical to the goroutine backend by construction:
+// virtual clocks and counters are pure functions of the program's per-pair
+// FIFO message order and the arrival stamps carried in messages, never of
+// which rank happened to run when, and fault decisions are keyed on
+// (seed, src, dst, seq, clock) alone. The conformance sweep pins this
+// identity across all seven algorithms (internal/conformance, backend
+// family).
+
+// Runtime selects the execution backend for a run. Like Wiring, the choice
+// is invisible to the simulation's semantics: clocks, counters, fault
+// decisions and per-rank observer streams are identical under either
+// backend (pinned by the conformance backend family); only wall-clock cost
+// and the diagnostics' real-time behavior differ.
+type Runtime int
+
+const (
+	// RuntimeGoroutine runs one live goroutine per rank under the Go
+	// scheduler with a real-time deadlock watchdog (the default).
+	RuntimeGoroutine Runtime = iota
+	// RuntimeEvent runs ranks as cooperatively scheduled continuations on
+	// a sharded virtual-time run queue with exact quiescence detection,
+	// feasible to p ≥ 10⁶ ranks. Cost.WatchdogTimeout is ignored (hangs
+	// are detected exactly, not by timeout); Cost.Workers bounds the
+	// concurrently running ranks.
+	RuntimeEvent
+)
+
+// String names the runtime for benchmark labels and reports.
+func (rt Runtime) String() string {
+	if rt == RuntimeEvent {
+		return "event"
+	}
+	return "goroutine"
+}
+
+// evKind is the reason a parked rank was resumed.
+type evKind uint8
+
+const (
+	// evWake: re-examine your wait — a message arrived, buffer space
+	// opened, or the awaited peer exited. The resumed operation re-checks
+	// its conditions in the same fixed priority order as the goroutine
+	// backend (message, peer exit, expiry), so the outcome depends only on
+	// virtual state.
+	evWake evKind = iota
+	// evTimerFire: the rank's virtual deadline was the earliest armed
+	// timer at quiescence (timer.go rules).
+	evTimerFire
+	// evAbort: the engine filled abortErr[id] (deadlock, send to exited
+	// peer); the rank unwinds with abortPanic.
+	evAbort
+	// evCancel: the run context was cancelled; the rank unwinds with
+	// cancelPanic.
+	evCancel
+	// evConducted: the rank's collective was conducted by its last
+	// arriver; the result is ready (comm_ff.go).
+	evConducted
+)
+
+// evRank is the engine's per-rank scheduling record. All fields are
+// guarded by eventEngine.mu except resume, which carries at most one
+// token from the dispatching engine to the parked carrier.
+type evRank struct {
+	resume chan evKind
+	// op/peer/deadline form the wait record while parked (op values from
+	// watchdog.go; opRunning while executing or runnable, opExited after
+	// the carrier returns). deadline is the armed virtual deadline of a
+	// timed operation, 0 otherwise.
+	op       uint64
+	peer     int32
+	runnable bool
+	started  bool
+	kind     evKind
+	deadline float64
+	// clock is the rank's virtual clock at its last park, the heap key.
+	clock float64
+	// seg/hasSeg snapshot the rank's last timeline segment at park, so
+	// deadlock snapshots can report what it last did (the engine's
+	// equivalent of Cluster.lastSegs).
+	seg    Segment
+	hasSeg bool
+	// watch is the lock-free mirror of the (op, peer) wait record for the
+	// notifyEnqueue/notifyDequeue prechecks: peer<<2 | watchRecv/watchSend
+	// while this rank is parked on a pair operation, 0 otherwise. park
+	// publishes it (sequentially consistent) BEFORE its final queue
+	// re-check; a sender reads it AFTER its enqueue. One of the two
+	// therefore always observes the other — the classic store/load
+	// protocol — so a miss on both sides is impossible and senders skip
+	// the engine lock entirely on the overwhelmingly common case of an
+	// unwatched pair.
+	watch atomic.Uint64
+}
+
+// watch classes (low two bits of evRank.watch).
+const (
+	watchRecv uint64 = 1
+	watchSend uint64 = 2
+)
+
+// watchWord encodes a park's wait record for the lock-free precheck.
+func watchWord(op uint64, peer int) uint64 {
+	class := watchRecv
+	if op == opBlockedSend || op == opBlockedSendTimer {
+		class = watchSend
+	}
+	return uint64(peer)<<2 | class
+}
+
+// evEntry is one runnable rank in a shard heap, ordered by (clock, id).
+type evEntry struct {
+	clock float64
+	id    int32
+}
+
+// evHeap is a binary min-heap of runnable ranks.
+type evHeap []evEntry
+
+func (h *evHeap) push(e evEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *evHeap) pop() evEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && evLess(old[l], old[small]) {
+			small = l
+		}
+		if r < n && evLess(old[r], old[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+func evLess(a, b evEntry) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	// Ties break toward the HIGHER rank id. Results are schedule-invariant
+	// (the conformance backend family pins this), so the tiebreak is purely
+	// a throughput decision: the ring and tree collectives receive from
+	// higher-indexed peers (Shift(-1) pulls from me+1, reduce trees pull
+	// from the high half), so running high ids first means a rank's sources
+	// have usually stashed their sends by the time it asks — turning most
+	// would-be parks into immediate dequeues.
+	return a.id > b.id
+}
+
+// eventEngine is the cooperative scheduler behind RuntimeEvent. One engine
+// drives one run.
+type eventEngine struct {
+	c       *Cluster
+	fn      func(*Rank) error
+	res     *Result
+	errs    []error
+	workers int
+
+	// ffOK marks the run eligible for fast-forwarded collectives: no
+	// fault plan, no observers (including the tracer), no cancel context.
+	// Any of those must see the run event by event — faults key decisions
+	// on individual sends, observers are owed per-operation callbacks on
+	// the owning rank's goroutine, and cancellation must be able to abort
+	// inside a collective — so they force the slow path. The predicate is
+	// cluster-static: eligibility never changes mid-run, which keeps
+	// conducted and event-by-event collectives from deadlocking each
+	// other.
+	ffOK bool
+
+	mu      sync.Mutex
+	ranks   []evRank
+	shards  []evHeap
+	running int // ranks currently executing on a worker slot
+	live    int // ranks that have not exited
+	nrun    int // total runnable entries across shards
+	rend    map[ffKey]*ffRendezvous
+	done    chan struct{}
+}
+
+func newEventEngine(c *Cluster, fn func(*Rank) error, res *Result) *eventEngine {
+	workers := c.cost.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &eventEngine{
+		c:       c,
+		fn:      fn,
+		res:     res,
+		errs:    make([]error, c.p),
+		workers: workers,
+		ffOK:    c.cost.Faults == nil && len(c.obs) == 0 && c.cost.Context == nil,
+		ranks:   make([]evRank, c.p),
+		shards:  make([]evHeap, workers),
+		live:    c.p,
+		rend:    make(map[ffKey]*ffRendezvous),
+		done:    make(chan struct{}),
+	}
+	for i := range e.ranks {
+		e.ranks[i].resume = make(chan evKind, 1)
+		e.ranks[i].peer = -1
+	}
+	return e
+}
+
+// runEvent executes fn on every rank under the event engine. It is the
+// RuntimeEvent half of Cluster.Run and produces the same Result and the
+// same joined error.
+func (c *Cluster) runEvent(fn func(r *Rank) error) (*Result, error) {
+	res := &Result{PerRank: make([]Stats, c.p)}
+	if c.tracer != nil {
+		res.Trace = &Trace{Segments: c.tracer.segments, Phases: c.tracer.phases}
+	}
+	e := newEventEngine(c, fn, res)
+	c.eng = e
+	if ctx := c.cost.Context; ctx != nil {
+		watchDone := make(chan struct{})
+		go c.watchContext(ctx, watchDone)
+		defer close(watchDone)
+		go e.watchCancel()
+	}
+	e.mu.Lock()
+	for id := 0; id < c.p; id++ {
+		e.pushRunnable(id, 0)
+	}
+	e.dispatch()
+	e.mu.Unlock()
+	<-e.done
+	res.ActivePairs = c.ActivePairs()
+	return res, joinRunErrors(c, e.errs)
+}
+
+// pushRunnable marks rank id runnable at the given virtual clock. mu held.
+func (e *eventEngine) pushRunnable(id int, clock float64) {
+	rk := &e.ranks[id]
+	rk.runnable = true
+	e.shards[id%e.workers].push(evEntry{clock: clock, id: int32(id)})
+	e.nrun++
+}
+
+// popNext removes and returns the runnable rank with the smallest
+// (clock, id) across shards. mu held.
+func (e *eventEngine) popNext() (int, bool) {
+	best := -1
+	for s := range e.shards {
+		if len(e.shards[s]) == 0 {
+			continue
+		}
+		if best < 0 || evLess(e.shards[s][0], e.shards[best][0]) {
+			best = s
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	e.nrun--
+	return int(e.shards[best].pop().id), true
+}
+
+// dispatch fills free worker slots from the run queue, and — when the
+// whole cluster has gone quiescent with ranks still live — resolves the
+// quiescence exactly like the watchdog would (peer-exit releases first,
+// then the earliest armed timer, then deadlock). mu held.
+func (e *eventEngine) dispatch() {
+	for {
+		for e.running < e.workers && e.nrun > 0 {
+			id, ok := e.popNext()
+			if !ok {
+				break
+			}
+			rk := &e.ranks[id]
+			rk.runnable = false
+			rk.op = opRunning
+			rk.peer = -1
+			e.running++
+			if !rk.started {
+				rk.started = true
+				go e.carrier(id)
+			} else {
+				rk.resume <- rk.kind
+			}
+		}
+		if e.running > 0 || e.live == 0 || e.nrun > 0 {
+			return
+		}
+		// Quiescent: every live rank is parked and nothing is runnable.
+		e.quiesce()
+		if e.nrun == 0 {
+			// quiesce wakes at least one rank whenever live ranks remain;
+			// defensive: avoid spinning if it could not.
+			return
+		}
+	}
+}
+
+// carrier is the goroutine that hosts rank id. It mirrors the per-rank
+// body of the goroutine backend's Run exactly (same recover
+// classification, same exit publication order) and returns its worker
+// slot on exit.
+func (e *eventEngine) carrier(id int) {
+	c := e.c
+	r := &Rank{cluster: c, id: id}
+	defer func() {
+		status, err := c.classifyRankExit(recover(), id, e.errs[id])
+		e.errs[id] = err
+		e.res.PerRank[id] = r.Stats()
+		// Publish the exit record before the exit notification, exactly
+		// like the goroutine backend: a peer that observes the close (or
+		// the engine's opExited under mu) may read exits[id].
+		c.exits[id] = exitInfo{status: status, err: err}
+		close(c.exitCh[id])
+		e.mu.Lock()
+		rk := &e.ranks[id]
+		rk.op = opExited
+		rk.hasSeg = false
+		e.live--
+		e.running--
+		if e.live == 0 {
+			defer close(e.done)
+		}
+		e.dispatch()
+		e.mu.Unlock()
+	}()
+	e.errs[id] = e.fn(r)
+}
+
+// yieldIfBehind reparks the calling rank onto the run queue when another
+// runnable rank sits at an earlier virtual clock. A compute-only loop
+// never parks on its own, so on a small worker pool it would starve
+// earlier ranks indefinitely — including ranks whose real-time side
+// effects the program is waiting on (an external cancel, a test
+// synchronization). Results are schedule-invariant, so the repark only
+// affects wall-clock fairness, never the virtual outcome.
+func (e *eventEngine) yieldIfBehind(r *Rank) {
+	e.mu.Lock()
+	behind := false
+	for s := range e.shards {
+		if h := e.shards[s]; len(h) > 0 && h[0].clock < r.clock {
+			behind = true
+			break
+		}
+	}
+	if !behind {
+		e.mu.Unlock()
+		return
+	}
+	rk := &e.ranks[r.id]
+	// The rank stays opRunning: it is runnable, not blocked, so the
+	// quiescence scans and cancel sweep must keep ignoring it — it will
+	// observe cancellation itself at its next instrumented op.
+	rk.kind = evWake
+	rk.seg, rk.hasSeg = r.lastSeg, r.hasSeg
+	e.pushRunnable(r.id, r.clock)
+	e.running--
+	e.dispatch()
+	e.mu.Unlock()
+	<-rk.resume
+}
+
+// park blocks the calling rank with the given wait record until the
+// engine resumes it. avail, checked under mu, lets the caller detect a
+// condition that raced with its unlocked pre-check (a message enqueued,
+// space opened, the peer exited) — if it reports true the rank never
+// parks and evWake is returned immediately.
+func (e *eventEngine) park(r *Rank, op uint64, peer int, deadline float64, avail func() bool) evKind {
+	rk := &e.ranks[r.id]
+	rk.watch.Store(watchWord(op, peer))
+	e.mu.Lock()
+	if avail != nil && avail() {
+		rk.watch.Store(0)
+		e.mu.Unlock()
+		return evWake
+	}
+	return e.parkLocked(r, op, peer, deadline)
+}
+
+// parkLocked is park's core: record the wait, release the worker slot,
+// hand it to the next runnable rank, and sleep. Enters with mu held,
+// returns with mu released.
+func (e *eventEngine) parkLocked(r *Rank, op uint64, peer int, deadline float64) evKind {
+	rk := &e.ranks[r.id]
+	rk.op = op
+	rk.peer = int32(peer)
+	rk.deadline = deadline
+	rk.clock = r.clock
+	rk.seg = r.lastSeg
+	rk.hasSeg = r.hasSeg
+	e.running--
+	e.dispatch()
+	e.mu.Unlock()
+	kind := <-rk.resume
+	rk.watch.Store(0)
+	return kind
+}
+
+// wake marks a parked rank runnable with the given resume reason. A rank
+// already runnable keeps its pending reason only when the new one is a
+// plain evWake: the specific reasons (conducted result ready, timer
+// fired, abort, cancel) always replace it, so a racing message enqueue
+// can never mask them — the resumed operation re-checks its queues
+// anyway. mu held.
+func (e *eventEngine) wake(id int, kind evKind) {
+	rk := &e.ranks[id]
+	if rk.runnable {
+		if kind != evWake {
+			rk.kind = kind
+		}
+		return
+	}
+	if !blockedOp(rk.op) {
+		return
+	}
+	rk.kind = kind
+	e.pushRunnable(id, rk.clock)
+}
+
+// notifyEnqueue wakes dst if it is parked receiving from src. The
+// unlocked watch precheck rejects the common case — dst running, or
+// parked on some other pair — without touching the engine lock; the
+// locked wait record stays authoritative for the actual wake.
+func (e *eventEngine) notifyEnqueue(src, dst int) {
+	if w := e.ranks[dst].watch.Load(); w&3 != watchRecv || int(w>>2) != src {
+		return
+	}
+	e.mu.Lock()
+	rk := &e.ranks[dst]
+	if (rk.op == opBlockedRecv || rk.op == opBlockedRecvTimer) && int(rk.peer) == src {
+		e.wake(dst, evWake)
+		e.dispatch()
+	}
+	e.mu.Unlock()
+}
+
+// notifyDequeue wakes src if it is parked sending to dst (its pair's
+// buffer was full; the caller just drained one slot). Prechecked like
+// notifyEnqueue.
+func (e *eventEngine) notifyDequeue(src, dst int) {
+	if w := e.ranks[src].watch.Load(); w&3 != watchSend || int(w>>2) != dst {
+		return
+	}
+	e.mu.Lock()
+	rk := &e.ranks[src]
+	if (rk.op == opBlockedSend || rk.op == opBlockedSendTimer) && int(rk.peer) == dst {
+		e.wake(src, evWake)
+		e.dispatch()
+	}
+	e.mu.Unlock()
+}
+
+// watchCancel wakes every parked rank with evCancel once the run context
+// is cancelled (running ranks abort at their next instrumented op via
+// cancelCheck, exactly like the goroutine backend).
+func (e *eventEngine) watchCancel() {
+	select {
+	case <-e.c.cancelCh:
+	case <-e.done:
+		return
+	}
+	e.mu.Lock()
+	for id := range e.ranks {
+		if blockedOp(e.ranks[id].op) {
+			e.wake(id, evCancel)
+		}
+	}
+	e.dispatch()
+	e.mu.Unlock()
+}
+
+// exitedLocked reports whether rank id has exited. mu held; the mutex
+// ordering makes the exit record exits[id] safe to read afterwards.
+func (e *eventEngine) exitedLocked(id int) bool { return e.ranks[id].op == opExited }
+
+// chanClosed reports whether a notification channel has been closed. The
+// close happens-before the observing receive, so reads guarded by it are
+// race-free (same mechanism the goroutine backend's selects rely on).
+func chanClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// quiesce resolves an exact quiescence: no rank running, none runnable,
+// some still live. The resolution order mirrors the goroutine backend's
+// real-time behavior — releases that the goroutine backend performs
+// immediately (peer-exit notifications, aborts of senders to exited
+// peers) are applied before any timer fires, and the single earliest
+// armed timer fires before deadlock is declared. mu held.
+func (e *eventEngine) quiesce() {
+	// (1) Ranks parked on a peer that exited: the goroutine backend's
+	// selects wake on the exit channel the moment it closes; release them
+	// all, and let each re-check (message first, then exit) on resume.
+	woke := false
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		if rk.runnable {
+			continue
+		}
+		switch rk.op {
+		case opBlockedRecv, opBlockedRecvTimer, opBlockedSendTimer:
+			if e.ranks[rk.peer].op == opExited {
+				e.wake(id, evWake)
+				woke = true
+			}
+		}
+	}
+	if woke {
+		return
+	}
+	// (2) A plain send to an exited peer whose buffer stayed full can
+	// never complete — the watchdog's per-rank case 1. Abort those
+	// senders with the same diagnostic.
+	var snap *ClusterSnapshot
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		if rk.runnable || rk.op != opBlockedSend {
+			continue
+		}
+		peer := int(rk.peer)
+		if e.ranks[peer].op != opExited {
+			continue
+		}
+		if e.c.pairOf(id, peer).rg.length() < e.c.bufCap {
+			continue // space opened; the send completes by itself
+		}
+		if snap == nil {
+			snap = e.snapshotLocked()
+		}
+		err := &DeadlockError{Rank: id, Op: "send", Peer: peer, PeerExited: true, Snapshot: snap}
+		e.c.emitDeadlock(DeadlockEvent{Err: err})
+		e.c.abortErr[id] = err
+		e.wake(id, evAbort)
+		woke = true
+	}
+	if woke {
+		return
+	}
+	// (3) Fire the single earliest armed virtual timer (ties to the
+	// lowest rank id) — one per quiescence round, the timer.go rule that
+	// keeps timeout-driven runs deterministic.
+	best, bestD := -1, 0.0
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		if rk.runnable || (rk.op != opBlockedRecvTimer && rk.op != opBlockedSendTimer) {
+			continue
+		}
+		if best < 0 || rk.deadline < bestD {
+			best, bestD = id, rk.deadline
+		}
+	}
+	if best >= 0 {
+		e.wake(best, evTimerFire)
+		return
+	}
+	// (4) Deadlock: zero armed timers, nothing deliverable. Abort every
+	// blocked rank with the shared wait graph and snapshot.
+	states := e.packedStatesLocked()
+	graph := waitGraph(states)
+	if snap == nil {
+		snap = e.snapshotLocked()
+	}
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		if rk.runnable || !blockedOp(rk.op) {
+			continue
+		}
+		err := &DeadlockError{Rank: id, Op: opName(rk.op), Peer: int(rk.peer), Graph: graph, Snapshot: snap}
+		e.c.emitDeadlock(DeadlockEvent{Err: err})
+		e.c.abortErr[id] = err
+		e.wake(id, evAbort)
+	}
+}
+
+// packedStatesLocked renders the engine's wait records in the watchdog's
+// packed format so waitGraph is shared between backends. mu held.
+func (e *eventEngine) packedStatesLocked() []uint64 {
+	states := make([]uint64, len(e.ranks))
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		peer := int(rk.peer)
+		if peer < 0 {
+			peer = 0
+		}
+		states[id] = packState(0, rk.op, peer)
+	}
+	return states
+}
+
+// snapshotLocked builds the cluster snapshot from the engine's exact wait
+// records (the engine's equivalent of Cluster.snapshot). mu held.
+func (e *eventEngine) snapshotLocked() *ClusterSnapshot {
+	snap := &ClusterSnapshot{Ranks: make([]RankSnapshot, e.c.p)}
+	for id := range e.ranks {
+		rk := &e.ranks[id]
+		rs := RankSnapshot{Rank: id, Peer: -1}
+		switch rk.op {
+		case opBlockedRecv:
+			rs.State, rs.Peer = "blocked-recv", int(rk.peer)
+		case opBlockedSend:
+			rs.State, rs.Peer = "blocked-send", int(rk.peer)
+		case opBlockedRecvTimer:
+			rs.State, rs.Peer = "blocked-recv-timer", int(rk.peer)
+		case opBlockedSendTimer:
+			rs.State, rs.Peer = "blocked-send-timer", int(rk.peer)
+		case opExited:
+			rs.State = "exited"
+		default:
+			rs.State = "running"
+		}
+		if rk.hasSeg && blockedOp(rk.op) {
+			seg := rk.seg
+			rs.LastSeg = &seg
+		}
+		snap.Ranks[id] = rs
+	}
+	snap.Queued = e.c.queuedPairs()
+	return snap
+}
+
+// deliverEvent is deliver's engine path: enqueue without blocking the
+// thread, parking the rank when the pair's buffer is full.
+func (e *eventEngine) deliverEvent(r *Rank, dst int, m message) {
+	q := &r.queueTo(dst).rg
+	for {
+		if q.push(m) {
+			e.notifyEnqueue(r.id, dst)
+			return
+		}
+		kind := e.park(r, opBlockedSend, dst, 0, func() bool { return q.length() < int(q.sem) })
+		switch kind {
+		case evCancel:
+			panic(cancelPanic{})
+		case evAbort:
+			panic(abortPanic{err: e.c.abortErr[r.id]})
+		}
+	}
+}
+
+// recvEvent is Recv's engine path: dequeue the next message from src,
+// parking until one arrives. ok=false reports that src exited with
+// nothing further queued (the caller names the root cause, shared with
+// the goroutine path).
+func (e *eventEngine) recvEvent(r *Rank, src int) (message, bool) {
+	q := &r.queueFrom(src).rg
+	exitCh := e.c.exitCh[src]
+	for {
+		if msg, ok := q.pop(); ok {
+			if q.length() >= int(q.sem)-1 {
+				e.notifyDequeue(src, r.id)
+			}
+			return msg, true
+		}
+		if chanClosed(exitCh) {
+			// Everything the peer ever sent was enqueued before its exit
+			// notification; drain once more before failing.
+			return q.pop()
+		}
+		kind := e.park(r, opBlockedRecv, src, 0, func() bool {
+			return q.length() > 0 || e.exitedLocked(src)
+		})
+		switch kind {
+		case evCancel:
+			panic(cancelPanic{})
+		case evAbort:
+			panic(abortPanic{err: e.c.abortErr[r.id]})
+		}
+	}
+}
+
+// recvTimeoutEvent is RecvTimeout's engine path after the unlocked fast
+// checks failed: park with the armed deadline and resolve with the same
+// fixed priority order as the goroutine backend (message, peer exit,
+// expiry).
+func (e *eventEngine) recvTimeoutEvent(r *Rank, src int, deadline float64) (msg message, got, exited, fired bool) {
+	q := &r.queueFrom(src).rg
+	exitCh := e.c.exitCh[src]
+	// Fast path before parking (RecvTimeout's unlocked pre-check lives
+	// here under the engine): a buffered message resolves immediately.
+	if msg, got = q.pop(); got {
+		if q.length() >= int(q.sem)-1 {
+			e.notifyDequeue(src, r.id)
+		}
+		return
+	}
+	for {
+		kind := e.park(r, opBlockedRecvTimer, src, deadline, func() bool {
+			return q.length() > 0 || e.exitedLocked(src)
+		})
+		switch kind {
+		case evCancel:
+			panic(cancelPanic{})
+		case evAbort:
+			panic(abortPanic{err: e.c.abortErr[r.id]})
+		case evTimerFire:
+			fired = true
+		}
+		if msg, got = q.pop(); got {
+			if q.length() >= int(q.sem)-1 {
+				e.notifyDequeue(src, r.id)
+			}
+			return
+		}
+		if chanClosed(exitCh) {
+			exited = true
+			return
+		}
+		if fired {
+			return
+		}
+	}
+}
+
+// sendDeadlineEvent is deliverDeadline's engine path: enqueue with a
+// virtual deadline bounding the park. Resolution priority mirrors the
+// goroutine backend: enqueue if space opened, then peer exit, then
+// expiry.
+func (e *eventEngine) sendDeadlineEvent(r *Rank, dst int, m message, deadline float64) (sent, exited, fired bool) {
+	q := &r.queueTo(dst).rg
+	exitCh := e.c.exitCh[dst]
+	for {
+		if q.push(m) {
+			sent = true
+			e.notifyEnqueue(r.id, dst)
+			return
+		}
+		if chanClosed(exitCh) {
+			exited = true
+			return
+		}
+		kind := e.park(r, opBlockedSendTimer, dst, deadline, func() bool {
+			return q.length() < int(q.sem) || e.exitedLocked(dst)
+		})
+		switch kind {
+		case evCancel:
+			panic(cancelPanic{})
+		case evAbort:
+			panic(abortPanic{err: e.c.abortErr[r.id]})
+		case evTimerFire:
+			fired = true
+		}
+		if q.push(m) {
+			sent = true
+			e.notifyEnqueue(r.id, dst)
+			return
+		}
+		if chanClosed(exitCh) {
+			exited = true
+			return
+		}
+		if fired {
+			return
+		}
+	}
+}

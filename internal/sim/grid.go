@@ -30,7 +30,7 @@ func (g Grid2D) RowComm(r *Rank) (*Comm, error) {
 	for c := 0; c < g.Cols; c++ {
 		members[c] = g.RankAt(row, c)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }
 
 // ColComm returns the communicator of the caller's grid column.
@@ -40,7 +40,7 @@ func (g Grid2D) ColComm(r *Rank) (*Comm, error) {
 	for row := 0; row < g.Rows; row++ {
 		members[row] = g.RankAt(row, col)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }
 
 // Grid3D maps ranks onto a q×q×c processor cuboid: the 2.5D layout with q =
@@ -49,6 +49,21 @@ func (g Grid2D) ColComm(r *Rank) (*Comm, error) {
 type Grid3D struct {
 	Q      int // rows = cols of each square layer
 	Layers int // replication factor c
+
+	// tab shares one member slice per row/column/fiber across every rank
+	// that asks for the communicator (NewGrid3D builds it; a zero-valued
+	// Grid3D literal falls back to per-call construction). The q ranks of
+	// a row each used to build — and duplicate-scan — an identical q-entry
+	// slice, so comm construction was O(p·q) slices and O(p·q²)
+	// comparisons per run. The shared slices are read-only by contract:
+	// Comm never mutates its member list.
+	tab *grid3Tab
+}
+
+type grid3Tab struct {
+	rows   [][]int // rows[layer*q+row]
+	cols   [][]int // cols[layer*q+col]
+	fibers [][]int // fibers[row*q+col]
 }
 
 // NewGrid3D validates that p ranks tile a q×q×layers cuboid.
@@ -56,7 +71,39 @@ func NewGrid3D(q, layers, p int) (Grid3D, error) {
 	if q <= 0 || layers <= 0 || q*q*layers != p {
 		return Grid3D{}, fmt.Errorf("sim: %d ranks do not tile a %dx%dx%d cuboid", p, q, q, layers)
 	}
-	return Grid3D{Q: q, Layers: layers}, nil
+	g := Grid3D{Q: q, Layers: layers}
+	tab := &grid3Tab{
+		rows:   make([][]int, q*layers),
+		cols:   make([][]int, q*layers),
+		fibers: make([][]int, q*q),
+	}
+	for l := 0; l < layers; l++ {
+		for row := 0; row < q; row++ {
+			m := make([]int, q)
+			for c := 0; c < q; c++ {
+				m[c] = g.RankAt(row, c, l)
+			}
+			tab.rows[l*q+row] = m
+		}
+		for col := 0; col < q; col++ {
+			m := make([]int, q)
+			for row := 0; row < q; row++ {
+				m[row] = g.RankAt(row, col, l)
+			}
+			tab.cols[l*q+col] = m
+		}
+	}
+	for row := 0; row < q; row++ {
+		for col := 0; col < q; col++ {
+			m := make([]int, layers)
+			for l := 0; l < layers; l++ {
+				m[l] = g.RankAt(row, col, l)
+			}
+			tab.fibers[row*q+col] = m
+		}
+	}
+	g.tab = tab
+	return g, nil
 }
 
 // Coords returns the (row, col, layer) of a global rank.
@@ -77,22 +124,28 @@ func (g Grid3D) LayerGrid() Grid2D { return Grid2D{Rows: g.Q, Cols: g.Q} }
 
 // RowComm returns the caller's intra-layer row communicator.
 func (g Grid3D) RowComm(r *Rank) (*Comm, error) {
-	row, _, layer := g.Coords(r.ID())
+	row, col, layer := g.Coords(r.ID())
+	if g.tab != nil && g.Q*g.Q*g.Layers == r.P() {
+		return &Comm{rank: r, members: g.tab.rows[layer*g.Q+row], me: col}, nil
+	}
 	members := make([]int, g.Q)
 	for c := 0; c < g.Q; c++ {
 		members[c] = g.RankAt(row, c, layer)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }
 
 // ColComm returns the caller's intra-layer column communicator.
 func (g Grid3D) ColComm(r *Rank) (*Comm, error) {
-	_, col, layer := g.Coords(r.ID())
+	row, col, layer := g.Coords(r.ID())
+	if g.tab != nil && g.Q*g.Q*g.Layers == r.P() {
+		return &Comm{rank: r, members: g.tab.cols[layer*g.Q+col], me: row}, nil
+	}
 	members := make([]int, g.Q)
 	for row := 0; row < g.Q; row++ {
 		members[row] = g.RankAt(row, col, layer)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }
 
 // FiberComm returns the caller's inter-layer fiber communicator: the c
@@ -100,12 +153,15 @@ func (g Grid3D) ColComm(r *Rank) (*Comm, error) {
 // communicator over which 2.5D algorithms replicate inputs and reduce
 // partial results.
 func (g Grid3D) FiberComm(r *Rank) (*Comm, error) {
-	row, col, _ := g.Coords(r.ID())
+	row, col, layer := g.Coords(r.ID())
+	if g.tab != nil && g.Q*g.Q*g.Layers == r.P() {
+		return &Comm{rank: r, members: g.tab.fibers[row*g.Q+col], me: layer}, nil
+	}
 	members := make([]int, g.Layers)
 	for l := 0; l < g.Layers; l++ {
 		members[l] = g.RankAt(row, col, l)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }
 
 // LayerComm returns the communicator of every rank in the caller's layer,
@@ -116,5 +172,5 @@ func (g Grid3D) LayerComm(r *Rank) (*Comm, error) {
 	for i := range members {
 		members[i] = g.RankAt(i/g.Q, i%g.Q, layer)
 	}
-	return r.NewComm(members)
+	return r.newCommTrusted(members)
 }

@@ -82,6 +82,17 @@ type Cost struct {
 	// matrix (memory ∝ p², kept for comparison benchmarks). The mode never
 	// affects clocks or counters — see mailbox.go.
 	Wiring Wiring
+	// Runtime selects the execution backend: one live goroutine per rank
+	// under the Go scheduler (the default) or the event engine, which
+	// schedules ranks as continuations on a sharded virtual-time run queue
+	// and reaches p ≥ 10⁶. Like Wiring, the backend never affects clocks,
+	// counters, fault decisions or per-rank observer streams — see
+	// event.go.
+	Runtime Runtime
+	// Workers bounds how many ranks the event engine lets run
+	// concurrently (RuntimeEvent only). Zero means GOMAXPROCS; negative
+	// values are rejected.
+	Workers int
 	// Faults optionally injects deterministic failures (crashes, message
 	// drops/duplications/corruptions, degraded links); nil runs fault-free.
 	Faults *FaultPlan
@@ -175,8 +186,8 @@ type Cluster struct {
 	p      int
 	cost   Cost
 	bufCap int
-	mail   []mailbox        // sparse wiring: mail[dst].queues[src]
-	dense  [][]chan message // dense wiring: dense[src][dst]; nil when sparse
+	mail   []mailbox // sparse wiring: mail[dst].queues[src]
+	dense  [][]pairQ // dense wiring: dense[src][dst]; nil when sparse
 	tracer *tracer
 	// obs lists the event-bus subscribers (Cost.Observers plus the tracer
 	// when tracing); lastSegs publishes each rank's most recent timeline
@@ -210,6 +221,12 @@ type Cluster struct {
 	cancelCh    chan struct{}
 	cancelled   atomic.Bool
 	cancelCause error
+
+	// eng is the event engine driving the run under RuntimeEvent; nil
+	// under the goroutine backend. Blocking operations branch on it to
+	// park cooperatively instead of blocking their goroutine. See
+	// event.go.
+	eng *eventEngine
 }
 
 // DefaultChanCap is the per-pair queue buffer in messages (override per run
@@ -237,6 +254,12 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	if cost.Wiring != WiringSparse && cost.Wiring != WiringDense {
 		return nil, fmt.Errorf("sim: unknown wiring mode %d", cost.Wiring)
 	}
+	if cost.Runtime != RuntimeGoroutine && cost.Runtime != RuntimeEvent {
+		return nil, fmt.Errorf("sim: unknown runtime mode %d", cost.Runtime)
+	}
+	if cost.Workers < 0 {
+		return nil, fmt.Errorf("sim: negative worker count %d", cost.Workers)
+	}
 	if cost.Faults != nil {
 		if err := cost.Faults.Validate(p); err != nil {
 			return nil, err
@@ -254,11 +277,16 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 		c.bufCap = DefaultChanCap
 	}
 	if cost.Wiring == WiringDense {
-		c.dense = make([][]chan message, p)
+		c.dense = make([][]pairQ, p)
 		for src := 0; src < p; src++ {
-			c.dense[src] = make([]chan message, p)
+			c.dense[src] = make([]pairQ, p)
 			for dst := 0; dst < p; dst++ {
-				c.dense[src][dst] = make(chan message, c.bufCap)
+				q := &c.dense[src][dst]
+				if cost.Runtime == RuntimeEvent {
+					q.rg.init(c.bufCap)
+				} else {
+					q.ch = make(chan message, c.bufCap)
+				}
 			}
 		}
 	} else {
@@ -272,8 +300,15 @@ func NewCluster(p int, cost Cost) (*Cluster, error) {
 	c.timerDeadline = make([]atomic.Uint64, p)
 	c.timerCh = make([]chan struct{}, p)
 	for i := range c.aborts {
-		c.aborts[i] = make(chan struct{})
 		c.exitCh[i] = make(chan struct{})
+		if cost.Runtime == RuntimeEvent {
+			// The event engine releases blocked ranks through its own
+			// resume channels and never arms the watchdog, so the per-rank
+			// abort and timer-fire channels would be dead weight — at
+			// p = 10⁶ that is millions of allocations saved.
+			continue
+		}
+		c.aborts[i] = make(chan struct{})
 		c.timerCh[i] = make(chan struct{}, 1)
 	}
 	if cost.Context != nil {
@@ -296,9 +331,12 @@ type Rank struct {
 	curMem  float64
 
 	// out and in memoize this rank's per-peer queue handles under sparse
-	// wiring (see mailbox.go); only this goroutine touches them.
-	out map[int]chan message
-	in  map[int]chan message
+	// wiring, fronted by two-slot MRU caches for the alternating-peer hot
+	// loops (see mailbox.go); only this goroutine touches them.
+	out  map[int]*pairQ
+	in   map[int]*pairQ
+	outC pairCache
+	inC  pairCache
 
 	// stateSeq shadows the watchdog state word's sequence counter (only
 	// this goroutine writes it); sendCount keys fault-plan decisions;
@@ -307,6 +345,14 @@ type Rank struct {
 	sendCount    int
 	crashDone    bool
 	crashPending bool
+
+	// computeOps counts Compute calls under the event engine; every 256th
+	// call checks whether an earlier-clock rank is waiting for the worker
+	// slot (see eventEngine.yieldIfBehind). noYield suppresses the check
+	// while a conducted collective drives this rank's pricing from the
+	// conductor's goroutine (see comm_ff.go).
+	computeOps uint32
+	noYield    bool
 
 	// lastSeg is the rank's most recent timeline segment (goroutine-local;
 	// published to the cluster's lastSegs at blocking transitions so
@@ -318,6 +364,21 @@ type Rank struct {
 	// RecvTimeout deadline: it stays the FIFO head for the pair and is
 	// returned by the next receive (timer.go). At most one per peer.
 	pushback map[int]message
+
+	// ffSeq counts this rank's collective calls per communicator
+	// membership — the rendezvous sequence number of the event engine's
+	// conducted collectives (comm_ff.go). Rank-local: every member counts
+	// its own calls, and the MPI ordering contract keeps the counts
+	// aligned. A rank belongs to a handful of communicators (row, column,
+	// fiber, world), so a linearly-scanned slice beats hashing the
+	// membership key on every collective.
+	ffSeq []ffSeqEntry
+}
+
+// ffSeqEntry is one membership's collective-call counter (see Rank.ffSeq).
+type ffSeqEntry struct {
+	memb ffMemb
+	seq  int
 }
 
 // ID returns the rank's index in [0, P).
@@ -348,6 +409,11 @@ func (r *Rank) Compute(flops float64) {
 	r.stats.ComputeTime += dt
 	r.emit(Segment{Kind: SegCompute, Start: r.clock, End: r.clock + dt, Peer: -1, Flops: flops})
 	r.clock += dt
+	if e := r.cluster.eng; e != nil && !r.noYield {
+		if r.computeOps++; r.computeOps&255 == 0 {
+			e.yieldIfBehind(r)
+		}
+	}
 }
 
 // messagesFor returns the number of network messages needed for k words.
@@ -370,6 +436,10 @@ func (r *Rank) Send(dst int, data []float64) {
 		panic(fmt.Sprintf("sim: rank %d sending to invalid rank %d", r.id, dst))
 	}
 	r.crashCheck()
+	if r.cluster.cost.Faults == nil {
+		r.deliver(dst, r.sendPriced(dst, data))
+		return
+	}
 	k := len(data)
 	msgs := r.cluster.messagesFor(k)
 	r.stats.WordsSent += float64(k)
@@ -438,11 +508,64 @@ func (r *Rank) Send(dst int, data []float64) {
 	r.deliver(dst, message{data: cp, arrival: r.clock, alphaF: af, betaF: bf})
 }
 
+// sendPriced prices a fault-free send exactly like Send's body — counters,
+// link parameters, SegSend emission, clock advance, payload copy, send
+// sequence — and returns the message ready to enqueue. It is Send's
+// fault-free core, shared with the event engine's conducted collectives
+// (comm_ff.go) so fast-forwarded sends are priced by the very same code.
+func (r *Rank) sendPriced(dst int, data []float64) message {
+	m := r.sendPricedShared(dst, data)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	m.data = cp
+	return m
+}
+
+// sendPricedShared is sendPriced without the defensive payload copy, for
+// conducted collectives (comm_ff.go) whose receiver provably does not
+// retain the buffer past the conduct: pricing is identical, the copy is
+// the only difference, and a copy is invisible to the Result.
+func (r *Rank) sendPricedShared(dst int, data []float64) message {
+	k := len(data)
+	msgs := r.cluster.messagesFor(k)
+	r.stats.WordsSent += float64(k)
+	r.stats.MsgsSent += msgs
+	alpha, beta := r.cluster.cost.linkParams(r.id, dst)
+	dt := alpha*msgs + beta*float64(k)
+	r.stats.SendTime += dt
+	start := r.clock
+	r.emit(Segment{Kind: SegSend, Start: start, End: start + dt, Peer: dst, Words: k, Msgs: msgs})
+	r.clock += dt
+	r.sendCount++
+	return message{data: data, arrival: r.clock, alphaF: 1, betaF: 1}
+}
+
+// sendOwned is Send for callers that surrender the buffer (ShiftOwned):
+// identical checks and pricing, minus the defensive copy. Fault-plan runs
+// take the full Send path — degradation rewrites the message anyway, and
+// resilience, not throughput, is what those runs measure.
+func (r *Rank) sendOwned(dst int, data []float64) {
+	if r.cluster.cost.Faults != nil {
+		r.Send(dst, data)
+		return
+	}
+	if dst < 0 || dst >= r.cluster.p {
+		panic(fmt.Sprintf("sim: rank %d sending to invalid rank %d", r.id, dst))
+	}
+	r.crashCheck()
+	r.deliver(dst, r.sendPricedShared(dst, data))
+}
+
 // deliver enqueues a message on the pair's queue. The fast path never
 // blocks; when the buffer is full the wait is published to the watchdog,
 // which aborts the send if it can never complete (deadlock or exited peer).
+// Under the event engine the rank parks instead of blocking its goroutine.
 func (r *Rank) deliver(dst int, m message) {
-	ch := r.queueTo(dst)
+	if e := r.cluster.eng; e != nil {
+		e.deliverEvent(r, dst, m)
+		return
+	}
+	ch := r.queueTo(dst).ch
 	select {
 	case ch <- m:
 		return
@@ -470,9 +593,13 @@ func (r *Rank) Recv(src int) []float64 {
 	if msg, ok := r.takePushback(src); ok {
 		return r.finishRecv(src, msg)
 	}
-	ch := r.queueFrom(src)
 	var msg message
 	ok := true
+	if e := r.cluster.eng; e != nil {
+		msg, ok = e.recvEvent(r, src)
+		return r.finishRecvOrFail(src, msg, ok)
+	}
+	ch := r.queueFrom(src).ch
 	select {
 	case msg = <-ch:
 	default:
@@ -497,10 +624,16 @@ func (r *Rank) Recv(src int) []float64 {
 			panic(abortPanic{err: r.cluster.abortErr[r.id]})
 		}
 	}
+	return r.finishRecvOrFail(src, msg, ok)
+}
+
+// finishRecvOrFail completes a receive: prices the message in hand, or —
+// when the peer exited with nothing further queued (ok false) — panics
+// naming the root cause. The exit notification happens-before the failed
+// receive observing it, so the peer's exit record is safe to read. Shared
+// by both backends' Recv paths.
+func (r *Rank) finishRecvOrFail(src int, msg message, ok bool) []float64 {
 	if !ok {
-		// The exit-channel close happens-before this receive observing
-		// it, so the peer's exit record is safe to read; name the root
-		// cause.
 		switch ei := r.cluster.exits[src]; ei.status {
 		case exitClean:
 			panic(fmt.Sprintf("sim: rank %d receiving from rank %d, which exited without sending (clean exit; mismatched communication pattern?)", r.id, src))
@@ -662,6 +795,9 @@ func Run(p int, cost Cost, fn func(r *Rank) error) (*Result, error) {
 // Run executes fn on every rank. A Cluster must not be reused after Run:
 // leftover messages from a failed run would corrupt a second one.
 func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
+	if c.cost.Runtime == RuntimeEvent {
+		return c.runEvent(fn)
+	}
 	res := &Result{PerRank: make([]Stats, c.p)}
 	if c.tracer != nil {
 		res.Trace = &Trace{Segments: c.tracer.segments, Phases: c.tracer.phases}
@@ -687,32 +823,8 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 			defer wg.Done()
 			r := &Rank{cluster: c, id: id}
 			defer func() {
-				status := exitClean
-				if rec := recover(); rec != nil {
-					switch p := rec.(type) {
-					case crashPanic:
-						errs[id] = p.err
-						status = exitCrashed
-					case abortPanic:
-						errs[id] = p.err
-						status = exitAborted
-					case cancelPanic:
-						errs[id] = &CancelledError{Rank: id, Cause: c.cancelCause}
-						status = exitAborted
-					default:
-						if perr, ok := rec.(error); ok {
-							// Keep typed error panics (e.g. a protocol
-							// layer's overflow error) reachable via
-							// errors.As after the recover.
-							errs[id] = fmt.Errorf("sim: rank %d panicked: %w", id, perr)
-						} else {
-							errs[id] = fmt.Errorf("sim: rank %d panicked: %v", id, rec)
-						}
-						status = exitPanicked
-					}
-				} else if errs[id] != nil {
-					status = exitFailed
-				}
+				status, err := c.classifyRankExit(recover(), id, errs[id])
+				errs[id] = err
 				res.PerRank[id] = r.Stats()
 				// Record how this rank left (read by peers after they
 				// observe the exit notification) and tell the watchdog
@@ -729,12 +841,44 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 	wg.Wait()
 	close(stop)
 	res.ActivePairs = c.ActivePairs()
-	// Join every rank's error: a single failure usually cascades into
-	// "peer exited" panics on other ranks, and the root cause must not be
-	// masked by whichever rank id happens to come first. Cancellation
-	// aborts EVERY rank with the same cause, so those are collapsed into
-	// one run-level error instead of p copies — unless some rank failed
-	// for a real reason first, which then takes precedence.
+	return res, joinRunErrors(c, errs)
+}
+
+// classifyRankExit maps a recovered panic (or fn's returned error) to the
+// rank's exit status and error, shared by both backends' per-rank
+// wrappers.
+func (c *Cluster) classifyRankExit(rec any, id int, fnErr error) (exitStatus, error) {
+	if rec == nil {
+		if fnErr != nil {
+			return exitFailed, fnErr
+		}
+		return exitClean, nil
+	}
+	switch p := rec.(type) {
+	case crashPanic:
+		return exitCrashed, p.err
+	case abortPanic:
+		return exitAborted, p.err
+	case cancelPanic:
+		return exitAborted, &CancelledError{Rank: id, Cause: c.cancelCause}
+	default:
+		if perr, ok := rec.(error); ok {
+			// Keep typed error panics (e.g. a protocol layer's overflow
+			// error) reachable via errors.As after the recover.
+			return exitPanicked, fmt.Errorf("sim: rank %d panicked: %w", id, perr)
+		}
+		return exitPanicked, fmt.Errorf("sim: rank %d panicked: %v", id, rec)
+	}
+}
+
+// joinRunErrors joins every rank's error into the run-level error, shared
+// by both backends. A single failure usually cascades into "peer exited"
+// panics on other ranks, and the root cause must not be masked by
+// whichever rank id happens to come first. Cancellation aborts EVERY rank
+// with the same cause, so those are collapsed into one run-level error
+// instead of p copies — unless some rank failed for a real reason first,
+// which then takes precedence.
+func joinRunErrors(c *Cluster, errs []error) error {
 	var all []error
 	cancelledRanks := 0
 	for id, err := range errs {
@@ -749,10 +893,10 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Result, error) {
 		all = append(all, fmt.Errorf("rank %d: %w", id, err))
 	}
 	if len(all) > 0 {
-		return res, errors.Join(all...)
+		return errors.Join(all...)
 	}
 	if cancelledRanks > 0 {
-		return res, fmt.Errorf("sim: run cancelled (%d of %d ranks aborted): %w", cancelledRanks, c.p, c.cancelCause)
+		return fmt.Errorf("sim: run cancelled (%d of %d ranks aborted): %w", cancelledRanks, c.p, c.cancelCause)
 	}
-	return res, nil
+	return nil
 }

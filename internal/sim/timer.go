@@ -219,46 +219,55 @@ func (r *Rank) RecvTimeout(src int, timeout float64) ([]float64, RecvOutcome) {
 	if msg, ok := r.takePushback(src); ok {
 		return r.recvDecide(src, msg, deadline)
 	}
-	ch := r.queueFrom(src)
-	select {
-	case msg := <-ch:
-		return r.recvDecide(src, msg, deadline)
-	default:
-	}
-	r.armTimer(opBlockedRecvTimer, src, deadline)
 	var msg message
 	var got, exited, fired bool
-	select {
-	case msg = <-ch:
-		got = true
-	case <-r.cluster.exitCh[src]:
-		exited = true
-	case <-r.cluster.timerCh[r.id]:
-		fired = true
-	case <-r.cluster.cancelCh:
-		panic(cancelPanic{})
-	case <-r.cluster.aborts[r.id]:
-		panic(abortPanic{err: r.cluster.abortErr[r.id]})
-	}
-	// Whatever woke the select, re-check in fixed priority order —
-	// message, peer exit, expiry — so a real-time race between a late
-	// enqueue, an exit notification and a fire token cannot change the
-	// outcome: the decision depends only on virtual state.
-	if !got {
+	if e := r.cluster.eng; e != nil {
+		// The engine path owns its own fast dequeue try (and the wake of a
+		// sender parked on the reopened buffer).
+		msg, got, exited, fired = e.recvTimeoutEvent(r, src, deadline)
+		if got {
+			return r.recvDecide(src, msg, deadline)
+		}
+	} else {
+		ch := r.queueFrom(src).ch
+		select {
+		case msg := <-ch:
+			return r.recvDecide(src, msg, deadline)
+		default:
+		}
+		r.armTimer(opBlockedRecvTimer, src, deadline)
 		select {
 		case msg = <-ch:
 			got = true
-		default:
-		}
-	}
-	if !got && !exited {
-		select {
 		case <-r.cluster.exitCh[src]:
 			exited = true
-		default:
+		case <-r.cluster.timerCh[r.id]:
+			fired = true
+		case <-r.cluster.cancelCh:
+			panic(cancelPanic{})
+		case <-r.cluster.aborts[r.id]:
+			panic(abortPanic{err: r.cluster.abortErr[r.id]})
 		}
+		// Whatever woke the select, re-check in fixed priority order —
+		// message, peer exit, expiry — so a real-time race between a late
+		// enqueue, an exit notification and a fire token cannot change the
+		// outcome: the decision depends only on virtual state.
+		if !got {
+			select {
+			case msg = <-ch:
+				got = true
+			default:
+			}
+		}
+		if !got && !exited {
+			select {
+			case <-r.cluster.exitCh[src]:
+				exited = true
+			default:
+			}
+		}
+		r.disarmTimer()
 	}
-	r.disarmTimer()
 	switch {
 	case got:
 		return r.recvDecide(src, msg, deadline)
@@ -394,44 +403,50 @@ func (r *Rank) SendTimeout(dst int, data []float64, timeout float64) SendOutcome
 // It resolves the timer event for the whole SendTimeout: SendOK cancels
 // it, the failure outcomes fire or cancel it exactly once.
 func (r *Rank) deliverDeadline(dst int, m message, deadline float64) SendOutcome {
-	ch := r.queueTo(dst)
-	select {
-	case ch <- m:
-		r.emitTimer(TimerCancelled, dst, "send", deadline)
-		return SendOK
-	default:
-	}
-	r.armTimer(opBlockedSendTimer, dst, deadline)
 	var sent, exited, fired bool
-	select {
-	case ch <- m:
-		sent = true
-	case <-r.cluster.exitCh[dst]:
-		exited = true
-	case <-r.cluster.timerCh[r.id]:
-		fired = true
-	case <-r.cluster.cancelCh:
-		panic(cancelPanic{})
-	case <-r.cluster.aborts[r.id]:
-		panic(abortPanic{err: r.cluster.abortErr[r.id]})
-	}
-	// Priority re-check, mirroring RecvTimeout: enqueue if space opened,
-	// then peer exit, then expiry.
-	if !sent {
+	if e := r.cluster.eng; e != nil {
+		// The engine path tries the enqueue itself (and notifies a
+		// receiver parked on the empty pair).
+		sent, exited, fired = e.sendDeadlineEvent(r, dst, m, deadline)
+	} else {
+		ch := r.queueTo(dst).ch
+		select {
+		case ch <- m:
+			r.emitTimer(TimerCancelled, dst, "send", deadline)
+			return SendOK
+		default:
+		}
+		r.armTimer(opBlockedSendTimer, dst, deadline)
 		select {
 		case ch <- m:
 			sent = true
-		default:
-		}
-	}
-	if !sent && !exited {
-		select {
 		case <-r.cluster.exitCh[dst]:
 			exited = true
-		default:
+		case <-r.cluster.timerCh[r.id]:
+			fired = true
+		case <-r.cluster.cancelCh:
+			panic(cancelPanic{})
+		case <-r.cluster.aborts[r.id]:
+			panic(abortPanic{err: r.cluster.abortErr[r.id]})
 		}
+		// Priority re-check, mirroring RecvTimeout: enqueue if space
+		// opened, then peer exit, then expiry.
+		if !sent {
+			select {
+			case ch <- m:
+				sent = true
+			default:
+			}
+		}
+		if !sent && !exited {
+			select {
+			case <-r.cluster.exitCh[dst]:
+				exited = true
+			default:
+			}
+		}
+		r.disarmTimer()
 	}
-	r.disarmTimer()
 	switch {
 	case sent:
 		r.emitTimer(TimerCancelled, dst, "send", deadline)

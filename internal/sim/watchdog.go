@@ -186,7 +186,7 @@ func (c *Cluster) queuedPairs() []QueuedPair {
 	if c.dense != nil {
 		for src := 0; src < c.p; src++ {
 			for dst := 0; dst < c.p; dst++ {
-				if n := len(c.dense[src][dst]); n > 0 {
+				if n := c.dense[src][dst].count(); n > 0 {
 					out = append(out, QueuedPair{Src: src, Dst: dst, Count: n})
 				}
 			}
@@ -196,8 +196,8 @@ func (c *Cluster) queuedPairs() []QueuedPair {
 	for dst := range c.mail {
 		mb := &c.mail[dst]
 		mb.mu.Lock()
-		for src, ch := range mb.queues {
-			if n := len(ch); n > 0 {
+		for src, q := range mb.queues {
+			if n := q.count(); n > 0 {
 				out = append(out, QueuedPair{Src: src, Dst: dst, Count: n})
 			}
 		}
@@ -287,7 +287,7 @@ func (c *Cluster) watch(stop <-chan struct{}, timeout time.Duration) {
 			if peerOp, _ := unpackState(cur[peer]); peerOp != opExited {
 				continue
 			}
-			if len(c.queue(id, peer)) < c.bufCap {
+			if c.pairOf(id, peer).count() < c.bufCap {
 				continue // space opened; the send completes by itself
 			}
 			if now.Sub(since[id]) >= timeout {
@@ -358,11 +358,11 @@ func (c *Cluster) deliverable(states []uint64) bool {
 		op, peer := unpackState(states[id])
 		switch op {
 		case opBlockedRecv, opBlockedRecvTimer:
-			if len(c.queue(peer, id)) > 0 {
+			if c.pairOf(peer, id).count() > 0 {
 				return true
 			}
 		case opBlockedSend, opBlockedSendTimer:
-			if len(c.queue(id, peer)) < c.bufCap {
+			if c.pairOf(id, peer).count() < c.bufCap {
 				return true
 			}
 		}
