@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"perfscale/internal/analytics"
 	"perfscale/internal/conformance"
 	"perfscale/internal/core"
 	"perfscale/internal/machine"
@@ -131,6 +132,9 @@ type report struct {
 	// its wall time, so the gate's cost is tracked alongside the simulator's
 	// own scaling numbers.
 	Conformance *conformance.Report `json:"conformance,omitempty"`
+	// ScalingCurves are the strong- and weak-scaling efficiency-vs-p rows
+	// (both backends), committable as the scaling-gate baseline.
+	ScalingCurves []analytics.CurvePoint `json:"scaling_curves,omitempty"`
 }
 
 // vmHWM reads the process's peak resident set (kB) from /proc/self/status;
@@ -180,6 +184,11 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "run only the p=65536 event-backend point and exit (CI smoke)")
 		srv      = flag.Bool("serve", false, "benchmark the query service instead of the simulator")
 		serveOut = flag.String("serveout", "BENCH_serve.json", "output JSON path for -serve")
+
+		curvesOnly   = flag.Bool("curves-only", false, "run only the scaling-curve sweep and exit")
+		curvesOut    = flag.String("curves-out", "", "also write the curves as a standalone JSON artifact (default BENCH_scaling.json with -curves-only)")
+		checkScaling = flag.String("check-scaling", "", "baseline curves JSON; exit non-zero when any curve regresses beyond -scaling-tol")
+		scalingTol   = flag.Float64("scaling-tol", analytics.DefaultGateTolerance, "scaling-gate relative tolerance")
 	)
 	flag.Parse()
 
@@ -199,6 +208,30 @@ func main() {
 	if *srv {
 		if err := serveBench(m, *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *curvesOnly {
+		// The CI scaling gate's fast path: measure the efficiency-vs-p
+		// curves on both backends, write the standalone artifact, and gate
+		// against the committed baseline if one was given.
+		curves, err := scalingCurves(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outPath := *curvesOut
+		if outPath == "" {
+			outPath = "BENCH_scaling.json"
+		}
+		if err := analytics.WriteCurves(outPath, *mach, curves); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d curve rows)\n", outPath, len(curves))
+		if *checkScaling != "" && !gateScaling(curves, *checkScaling, *scalingTol) {
 			os.Exit(1)
 		}
 		return
@@ -508,6 +541,31 @@ func main() {
 		}
 	}
 
+	// Scaling curves on both backends: the efficiency-vs-p rows committed
+	// with the report and gated against the baseline in CI.
+	scalingOK := true
+	{
+		start := time.Now()
+		curves, err := scalingCurves(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.ScalingCurves = curves
+		fmt.Printf("scaling curves: %d rows (both backends), wall=%.3fs\n",
+			len(curves), time.Since(start).Seconds())
+		if *curvesOut != "" {
+			if err := analytics.WriteCurves(*curvesOut, *mach, curves); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d curve rows)\n", *curvesOut, len(curves))
+		}
+		if *checkScaling != "" {
+			scalingOK = gateScaling(curves, *checkScaling, *scalingTol)
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -518,4 +576,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d runs, %d comparisons)\n", *out, len(rep.Runs), len(rep.Comparisons))
+	if !scalingOK {
+		os.Exit(1)
+	}
 }

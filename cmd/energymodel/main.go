@@ -12,7 +12,9 @@
 //
 //	energymodel -alg matmul -machine jaketown -n 35000 -p 2
 //	energymodel -alg nbody -machine illustrative -n 1e4 -p 20 -mem 2000 -questions
-//	energymodel -alg strassen -n 8192 -p 49 -tmax 1e-2 -emax 5
+//	energymodel -alg strassen -n 8192 -p 49 -tmax 1e-2 -emax 5 -o answers.txt
+//
+// Output goes to stdout or the -o file; write failures exit non-zero.
 package main
 
 import (
@@ -29,6 +31,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		alg       = flag.String("alg", "matmul", "algorithm: matmul, strassen, lu, nbody, fft")
 		mach      = flag.String("machine", "jaketown", "machine preset name or .json parameter file")
@@ -41,16 +47,22 @@ func main() {
 		tmax      = flag.Float64("tmax", 0, "runtime budget in seconds for question 2 (0 = skip)")
 		emax      = flag.Float64("emax", 0, "energy budget in joules for question 3 (0 = skip)")
 		target    = flag.Float64("target", 75, "GFLOPS/W target for question 5")
+		outPath   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	m, err := machine.Resolve(*mach)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
-	fmt.Println(m.String())
-	fmt.Println()
+	w, closeOut, err := report.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energymodel:", err)
+		return 1
+	}
+	w.Println(m.String())
+	w.Println()
 
 	var r core.Result
 	switch *alg {
@@ -78,28 +90,40 @@ func main() {
 		r = core.FFT(m, *n, *p, *tree)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		closeOut()
+		return 2
 	}
 
-	printResult(*alg, *n, r)
+	printResult(w, *alg, *n, r)
 
 	if *questions || *tmax > 0 || *emax > 0 {
 		switch *alg {
 		case "nbody":
-			answerNBody(m, *n, *f, *tmax, *emax, *target)
+			answerNBody(w, m, *n, *f, *tmax, *emax, *target)
 		case "matmul", "strassen":
 			omega := 3.0
 			if *alg == "strassen" {
 				omega = bounds.OmegaStrassen
 			}
-			answerMatMul(m, *n, omega, *tmax, *emax)
+			answerMatMul(w, m, *n, omega, *tmax, *emax)
 		default:
-			fmt.Println("optimization questions are implemented for matmul, strassen and nbody")
+			w.Println("optimization questions are implemented for matmul, strassen and nbody")
 		}
 	}
+
+	code := 0
+	if err := w.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "energymodel: writing report:", err)
+		code = 1
+	}
+	if err := closeOut(); err != nil {
+		fmt.Fprintln(os.Stderr, "energymodel: closing output:", err)
+		code = 1
+	}
+	return code
 }
 
-func printResult(alg string, n float64, r core.Result) {
+func printResult(w *report.ErrWriter, alg string, n float64, r core.Result) {
 	t := report.NewTable(fmt.Sprintf("%s: n=%s p=%s M=%s words", alg,
 		report.FormatFloat(n), report.FormatFloat(r.P), report.FormatFloat(r.Mem)),
 		"quantity", "value")
@@ -119,10 +143,10 @@ func printResult(alg string, n float64, r core.Result) {
 	t.AddRow("avg power (W)", r.AvgPower())
 	t.AddRow("power/proc (W)", r.PowerPerProcessor())
 	t.AddRow("GFLOPS/W", r.GFLOPSPerWatt())
-	fmt.Println(t.Render())
+	w.Println(t.Render())
 }
 
-func answerNBody(m machine.Params, n, f, tmax, emax, target float64) {
+func answerNBody(w *report.ErrWriter, m machine.Params, n, f, tmax, emax, target float64) {
 	pb := opt.NBody{M: m, N: n, F: f}
 	t := report.NewTable("Section V answers (n-body)", "question", "answer")
 	m0 := pb.OptimalMemory()
@@ -152,10 +176,10 @@ func answerNBody(m machine.Params, n, f, tmax, emax, target float64) {
 	t.AddRow("Q5 best-case efficiency (GFLOPS/W)", pb.Efficiency())
 	t.AddRow(fmt.Sprintf("Q5 energy-param scale for %g GFLOPS/W", target), pb.EnergyScaleForTarget(target))
 	t.AddRow("Q5 generations of halving needed", math.Ceil(math.Log2(1/pb.EnergyScaleForTarget(target))))
-	fmt.Println(t.Render())
+	w.Println(t.Render())
 }
 
-func answerMatMul(m machine.Params, n, omega, tmax, emax float64) {
+func answerMatMul(w *report.ErrWriter, m machine.Params, n, omega, tmax, emax float64) {
 	pb := opt.MatMul{M: m, N: n, Omega: omega}
 	t := report.NewTable("Section V answers (matmul, numeric)", "question", "answer")
 	mStar := pb.OptimalMemory()
@@ -181,5 +205,5 @@ func answerMatMul(m machine.Params, n, omega, tmax, emax float64) {
 	}
 	t.AddRow("Q4 power/proc at M* (W)", pb.ProcPower(mStar))
 	t.AddRow("Q5 best-case efficiency (GFLOPS/W)", pb.Efficiency())
-	fmt.Println(t.Render())
+	w.Println(t.Render())
 }

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	powerprofile -alg matmul -machine simdefault -n 96 -c 2
-//	powerprofile -alg nbody -n 256 -p 16 -c 2
+//	powerprofile -alg nbody -n 256 -p 16 -c 2 -o profile.txt
+//
+// Output goes to stdout or the -o file; write failures exit non-zero.
 package main
 
 import (
@@ -24,6 +26,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		alg     = flag.String("alg", "matmul", "algorithm: matmul, nbody")
 		mach    = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
@@ -32,42 +38,61 @@ func main() {
 		q       = flag.Int("q", 4, "grid size (matmul)")
 		c       = flag.Int("c", 2, "replication factor")
 		buckets = flag.Int("buckets", 48, "power profile resolution")
+		outPath = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	m, err := machine.Resolve(*mach)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+	w, closeOut, err := report.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerprofile:", err)
+		return 1
+	}
+	code := profile(w, m, *alg, *n, *p, *q, *c, *buckets)
+	if err := w.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerprofile: writing report:", err)
+		code = 1
+	}
+	if err := closeOut(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerprofile: closing output:", err)
+		code = 1
+	}
+	return code
+}
+
+func profile(w *report.ErrWriter, m machine.Params, alg string, n, p, q, c, buckets int) int {
 	cost := sim.Cost{GammaT: m.GammaT, BetaT: m.BetaT, AlphaT: m.AlphaT,
 		MaxMsgWords: int(m.MaxMsgWords), Trace: true}
 
 	var res *sim.Result
-	switch *alg {
+	switch alg {
 	case "matmul":
-		a := matrix.Random(*n, *n, 1)
-		b := matrix.Random(*n, *n, 2)
-		run, err := matmul.TwoPointFiveD(cost, *q, *c, a, b)
+		a := matrix.Random(n, n, 1)
+		b := matrix.Random(n, n, 2)
+		run, err := matmul.TwoPointFiveD(cost, q, c, a, b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		res = run.Sim
 	case "nbody":
-		bodies := nbody.RandomBodies(*n, 3)
-		run, err := nbody.Replicated(cost, *p, *c, bodies)
+		bodies := nbody.RandomBodies(n, 3)
+		run, err := nbody.Replicated(cost, p, c, bodies)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		res = run.Sim
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", alg)
+		return 2
 	}
 
-	fmt.Printf("%s on %s: simulated T = %s s\n\n", *alg, m.Name, report.FormatFloat(res.Time()))
+	w.Printf("%s on %s: simulated T = %s s\n\n", alg, m.Name, report.FormatFloat(res.Time()))
 
 	// Critical path.
 	path := res.Trace.CriticalPath()
@@ -81,7 +106,7 @@ func main() {
 		}
 	}
 	t.AddRow("segments on path", len(path), "")
-	fmt.Println(t.Render())
+	w.Println(t.Render())
 
 	// Utilization.
 	u := res.Trace.Utilization(res.Time())
@@ -96,26 +121,27 @@ func main() {
 		avg += v
 	}
 	avg /= float64(len(u))
-	fmt.Printf("utilization: min %.0f%%  avg %.0f%%  max %.0f%% across %d ranks\n\n",
+	w.Printf("utilization: min %.0f%%  avg %.0f%%  max %.0f%% across %d ranks\n\n",
 		100*lo, 100*avg, 100*hi, len(u))
 
 	// Timeline.
-	fmt.Println(res.Trace.RenderGantt(res.Time(), 72))
+	w.Println(res.Trace.RenderGantt(res.Time(), 72))
 
 	// Power profile.
-	prof, err := core.Profile(m, res, *buckets)
+	prof, err := core.Profile(m, res, buckets)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var s report.Series
 	s.Name = "machine power (W)"
 	for i, pw := range prof.Power {
 		s.Add(prof.BucketStart[i], pw)
 	}
-	fmt.Println(report.Chart("Power over time", 60, 12, false, false, s))
-	fmt.Printf("peak %s W, average %s W (E/T), static floor %s W\n",
+	w.Println(report.Chart("Power over time", 60, 12, false, false, s))
+	w.Printf("peak %s W, average %s W (E/T), static floor %s W\n",
 		report.FormatFloat(prof.Peak), report.FormatFloat(prof.Avg), report.FormatFloat(prof.StaticPower))
-	fmt.Printf("peak/average = %.2f — the paper's P = E/T underestimates the cap a real machine needs by this factor\n",
+	w.Printf("peak/average = %.2f — the paper's P = E/T underestimates the cap a real machine needs by this factor\n",
 		prof.Peak/prof.Avg)
+	return 0
 }

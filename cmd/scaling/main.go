@@ -6,8 +6,12 @@
 //	           model sweep plus real simulator runs
 //	-strassen  Experiment E4 — Strassen/CAPS model sweep plus simulator runs
 //	-threeD    Experiment E3 — energy along the 3D limit (Eq. 11)
+//	-weak      E22 — weak scaling at constant energy per flop (closed form)
+//	-curves    measured efficiency-vs-p curves (strong + weak families) on
+//	           the live simulator, with closed-form predictions
 //
-// With no flags it runs everything.
+// With no flags it runs everything except -curves. Output goes to stdout
+// or the -o file; write failures exit non-zero.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"math"
 	"os"
 
+	"perfscale/internal/analytics"
 	"perfscale/internal/bounds"
 	"perfscale/internal/core"
 	"perfscale/internal/machine"
@@ -27,37 +32,54 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig3    = flag.Bool("fig3", false, "Figure 3: strong-scaling limits")
 		perfect = flag.Bool("perfect", false, "E2: 2.5D matmul perfect scaling")
 		strass  = flag.Bool("strassen", false, "E4: Strassen energy scaling")
 		threeD  = flag.Bool("threeD", false, "E3: 3D-limit energy tradeoff")
 		weak    = flag.Bool("weak", false, "E22: weak scaling at constant energy per flop")
+		curves  = flag.Bool("curves", false, "measured efficiency-vs-p curves (strong + weak)")
+		runtime = flag.String("runtime", "goroutine", "simulator backend for -curves: goroutine or event")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		mach    = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
+		outPath = flag.String("o", "", "output file (default stdout)")
 		fig3N   = flag.Float64("fig3-n", 65536, "Figure 3 matrix dimension")
 		fig3Mem = flag.Float64("fig3-mem", 1<<24, "Figure 3 memory per processor (words)")
 		fig3Pts = flag.Int("fig3-points", 25, "Figure 3 sample count")
 	)
 	flag.Parse()
-	all := !*fig3 && !*perfect && !*strass && !*threeD && !*weak
+	all := !*fig3 && !*perfect && !*strass && !*threeD && !*weak && !*curves
 
 	m, err := machine.Resolve(*mach)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	if *curves && *runtime != "goroutine" && *runtime != "event" {
+		fmt.Fprintf(os.Stderr, "scaling: unknown -runtime %q\n", *runtime)
+		return 2
 	}
 
+	w, closeOut, err := report.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		return 1
+	}
 	emit := func(t *report.Table) {
 		if *csv {
-			fmt.Print(t.CSV())
+			w.Printf("%s", t.CSV())
 		} else {
-			fmt.Println(t.Render())
+			w.Println(t.Render())
 		}
 	}
 
+	code := 0
 	if all || *fig3 {
-		runFig3(emit, *fig3N, *fig3Mem, *fig3Pts, *csv)
+		runFig3(w, emit, *fig3N, *fig3Mem, *fig3Pts, *csv)
 	}
 	if all || *perfect {
 		runPerfect(emit, m)
@@ -71,6 +93,46 @@ func main() {
 	if all || *weak {
 		runWeak(emit, m)
 	}
+	if *curves {
+		if err := runCurves(emit, m, *runtime); err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			code = 1
+		}
+	}
+	if err := w.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling: writing report:", err)
+		code = 1
+	}
+	if err := closeOut(); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling: closing output:", err)
+		code = 1
+	}
+	return code
+}
+
+// runCurves measures the quick strong+weak efficiency-vs-p curves on the
+// live simulator — the same sweep the CI scaling gate runs.
+func runCurves(emit func(*report.Table), m machine.Params, runtime string) error {
+	var rt sim.Runtime
+	switch runtime {
+	case "goroutine":
+		rt = sim.RuntimeGoroutine
+	case "event":
+		rt = sim.RuntimeEvent
+	default:
+		return fmt.Errorf("unknown -runtime %q", runtime)
+	}
+	rows, err := analytics.QuickCurves(m, rt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Efficiency-vs-p curves (%s runtime): measured vs closed-form prediction", runtime),
+		"family", "algorithm", "n", "p", "c", "sim T (s)", "E (J)", "efficiency", "predicted", "E ratio")
+	for _, r := range rows {
+		t.AddRow(r.Family, r.Algorithm, r.N, r.P, r.C, r.SimT, r.EnergyJ, r.Efficiency, r.Predicted, r.EnergyRatio)
+	}
+	emit(t)
+	return nil
 }
 
 func runWeak(emit func(*report.Table), m machine.Params) {
@@ -88,7 +150,7 @@ func runWeak(emit func(*report.Table), m machine.Params) {
 
 func mathSqrt(x float64) float64 { return math.Sqrt(x) }
 
-func runFig3(emit func(*report.Table), n, mem float64, points int, csv bool) {
+func runFig3(w *report.ErrWriter, emit func(*report.Table), n, mem float64, points int, csv bool) {
 	pts := bounds.Fig3Series(n, mem, points)
 	t := report.NewTable(fmt.Sprintf("Figure 3: W·p vs p (n=%s, M=%s)",
 		report.FormatFloat(n), report.FormatFloat(mem)),
@@ -102,9 +164,9 @@ func runFig3(emit func(*report.Table), n, mem float64, points int, csv bool) {
 	}
 	emit(t)
 	if !csv {
-		fmt.Println(report.Chart("Figure 3 (log-log); flat region = perfect strong scaling",
+		w.Println(report.Chart("Figure 3 (log-log); flat region = perfect strong scaling",
 			64, 16, true, true, cs, ss))
-		fmt.Printf("classical saturation p = %s, strassen saturation p = %s\n\n",
+		w.Printf("classical saturation p = %s, strassen saturation p = %s\n\n",
 			report.FormatFloat(bounds.MatMulPMax(n, mem)),
 			report.FormatFloat(bounds.FastMatMulPMax(n, mem, bounds.OmegaStrassen)))
 	}

@@ -1,0 +1,206 @@
+package analytics
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// DiffOptions parameterizes the divide operator.
+type DiffOptions struct {
+	// ExpectedRatio is the predicted per-phase time ratio span(B)/span(A):
+	// pA/pB (i.e. 1/k) for a perfect-strong-scaling comparison at k× the
+	// processors, 1 for a same-configuration comparison (two commits, or a
+	// clean run against a degraded one). Zero defaults to 1.
+	ExpectedRatio float64
+	// Tolerance bounds the acceptable deviation of measured/expected: a
+	// phase is flagged when its deviation leaves [1/(1+tol), 1+tol]. Zero
+	// defaults to 0.25 — scaling bands, not bit-equality.
+	Tolerance float64
+	// ShareFloor suppresses flags on phases whose time share is below this
+	// fraction on both sides: a 0.1% phase running 3x slow is noise, not a
+	// bottleneck. Zero defaults to 0.02.
+	ShareFloor float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.ExpectedRatio == 0 {
+		o.ExpectedRatio = 1
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.25
+	}
+	if o.ShareFloor == 0 {
+		o.ShareFloor = 0.02
+	}
+	return o
+}
+
+// PhaseDiff is one phase's row of a profile division.
+type PhaseDiff struct {
+	Name string `json:"name"`
+	// SpanA and SpanB are the phase makespans (Span.Max) on each side;
+	// zero when the phase exists only on the other side.
+	SpanA float64 `json:"span_a_s"`
+	SpanB float64 `json:"span_b_s"`
+	// Ratio is SpanB/SpanA (Inf for phases new in B), Expected the
+	// predicted ratio, and Deviation = Ratio/Expected — 1 means the phase
+	// scaled exactly as the model says.
+	Ratio     float64 `json:"ratio"`
+	Expected  float64 `json:"expected"`
+	Deviation float64 `json:"deviation"`
+	// Efficiency is Expected/Ratio, the per-phase scaling efficiency
+	// (1 = on prediction, <1 = this phase stopped scaling).
+	Efficiency float64 `json:"efficiency"`
+	// ExcessS is SpanB − SpanA·Expected: the absolute virtual seconds this
+	// phase costs beyond prediction. The bottleneck is the max-excess
+	// flagged phase.
+	ExcessS float64 `json:"excess_s"`
+	// EnergyA/B are the phase's machine-wide energy on each side.
+	EnergyA float64 `json:"energy_a_j"`
+	EnergyB float64 `json:"energy_b_j"`
+	// ShareA/B are the phase's time share of each run.
+	ShareA float64 `json:"share_a"`
+	ShareB float64 `json:"share_b"`
+	// Flagged marks a deviation beyond tolerance on a phase above the
+	// share floor.
+	Flagged bool `json:"flagged"`
+}
+
+// DiffReport is the result of dividing profile B by profile A.
+type DiffReport struct {
+	A, B *PhaseProfile `json:"-"`
+	// Label summarizes the two sides ("p=16 -> p=64").
+	Label string `json:"label"`
+	// TotalRatio is T(B)/T(A); Expected the predicted ratio; Efficiency
+	// Expected/TotalRatio for the whole run.
+	TotalRatio float64 `json:"total_ratio"`
+	Expected   float64 `json:"expected"`
+	Efficiency float64 `json:"efficiency"`
+	// EnergyRatio is E(B)/E(A) — ≈1 inside the paper's perfect-scaling
+	// region regardless of p.
+	EnergyRatio float64     `json:"energy_ratio"`
+	Phases      []PhaseDiff `json:"phases"`
+	// Bottleneck names the flagged phase with the largest excess time; ""
+	// when no phase is flagged.
+	Bottleneck string `json:"bottleneck,omitempty"`
+}
+
+// Diff divides profile b by profile a, phase by phase: the Hatchet-style
+// divide operator specialized to scaling analysis. Phases are matched by
+// name; a phase present on only one side gets a one-sided row (flagged
+// when its share clears the floor — a phase that appeared or vanished is
+// itself a scaling signal).
+func Diff(a, b *PhaseProfile, opt DiffOptions) *DiffReport {
+	opt = opt.withDefaults()
+	rep := &DiffReport{
+		A: a, B: b,
+		Label:    fmt.Sprintf("p=%d -> p=%d", a.P, b.P),
+		Expected: opt.ExpectedRatio,
+	}
+	if a.T > 0 {
+		rep.TotalRatio = b.T / a.T
+		rep.Efficiency = opt.ExpectedRatio / rep.TotalRatio
+	}
+	if ea := a.Energy.Total(); ea > 0 {
+		rep.EnergyRatio = b.Energy.Total() / ea
+	}
+
+	lo, hi := 1/(1+opt.Tolerance), 1+opt.Tolerance
+	seen := map[string]bool{}
+	worstExcess := 0.0
+	add := func(pa, pb *PhaseStats, name string) {
+		d := PhaseDiff{Name: name, Expected: opt.ExpectedRatio}
+		if pa != nil {
+			d.SpanA = pa.Span.Max
+			d.EnergyA = pa.Energy.Total()
+			d.ShareA = pa.TimeShare(a.T)
+		}
+		if pb != nil {
+			d.SpanB = pb.Span.Max
+			d.EnergyB = pb.Energy.Total()
+			d.ShareB = pb.TimeShare(b.T)
+		}
+		switch {
+		case pa == nil || d.SpanA == 0:
+			d.Ratio = math.Inf(1)
+			d.Deviation = math.Inf(1)
+			d.Efficiency = 0
+		default:
+			d.Ratio = d.SpanB / d.SpanA
+			d.Deviation = d.Ratio / d.Expected
+			if d.Ratio > 0 {
+				d.Efficiency = d.Expected / d.Ratio
+			}
+		}
+		d.ExcessS = d.SpanB - d.SpanA*d.Expected
+		significant := d.ShareA >= opt.ShareFloor || d.ShareB >= opt.ShareFloor
+		if significant && (d.Deviation < lo || d.Deviation > hi) {
+			d.Flagged = true
+			if d.ExcessS > worstExcess {
+				worstExcess = d.ExcessS
+				rep.Bottleneck = d.Name
+			}
+		}
+		rep.Phases = append(rep.Phases, d)
+	}
+	for i := range a.Phases {
+		pa := &a.Phases[i]
+		seen[pa.Name] = true
+		add(pa, b.Phase(pa.Name), pa.Name)
+	}
+	for i := range b.Phases {
+		pb := &b.Phases[i]
+		if !seen[pb.Name] {
+			add(nil, pb, pb.Name)
+		}
+	}
+	return rep
+}
+
+// WriteText renders the diff as an annotated table. Flagged phases carry a
+// "<<" marker; the bottleneck line names the scaling culprit.
+func (r *DiffReport) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("scaling diff %s: T %.6g s -> %.6g s (ratio %.4g, expected %.4g, efficiency %.3f)\n",
+		r.Label, r.A.T, r.B.T, r.TotalRatio, r.Expected, r.Efficiency); err != nil {
+		return err
+	}
+	if err := p("energy %.6g J -> %.6g J (ratio %.4g)\n", r.A.Energy.Total(), r.B.Energy.Total(), r.EnergyRatio); err != nil {
+		return err
+	}
+	if err := p("%-16s %12s %12s %8s %8s %10s %9s\n",
+		"phase", "span A (s)", "span B (s)", "ratio", "expect", "efficiency", "excess"); err != nil {
+		return err
+	}
+	for _, d := range r.Phases {
+		mark := ""
+		if d.Flagged {
+			mark = "  << off prediction"
+			if d.Name == r.Bottleneck {
+				mark = "  << BOTTLENECK"
+			}
+		}
+		if err := p("%-16s %12.5g %12.5g %8.3g %8.3g %10.3f %+9.3g%s\n",
+			d.Name, d.SpanA, d.SpanB, d.Ratio, d.Expected, d.Efficiency, d.ExcessS, mark); err != nil {
+			return err
+		}
+	}
+	if r.Bottleneck != "" {
+		return p("scaling bottleneck: %s (%+.4g s beyond prediction)\n", r.Bottleneck, excessOf(r))
+	}
+	return p("all phases within tolerance of the predicted scaling\n")
+}
+
+// excessOf returns the bottleneck phase's excess seconds.
+func excessOf(r *DiffReport) float64 {
+	for _, d := range r.Phases {
+		if d.Name == r.Bottleneck {
+			return d.ExcessS
+		}
+	}
+	return 0
+}

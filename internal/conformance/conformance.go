@@ -308,7 +308,7 @@ func Sweep(cfg Config) (*Report, error) {
 			}
 		}
 		for _, family := range []func(*checker, Config) error{
-			checkSimMetamorphic, checkReplay, checkRecovery, checkBackend,
+			checkSimMetamorphic, checkWeakScaling, checkReplay, checkRecovery, checkBackend,
 		} {
 			if cfg.interrupted() != nil {
 				return fail(nil)

@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/core"
+	"perfscale/internal/matmul"
+	"perfscale/internal/matrix"
+	"perfscale/internal/nbody"
+)
+
+// weakSimBands bound the measured weak-scaling transform on the live
+// simulator: with per-rank memory fixed and the problem grown to fill the
+// machine, the per-rank flop rate and the energy per flop both stay ≈
+// constant (the Eq. 10 corollary). The deviation budget covers the latency
+// term, which grows slightly faster than per-rank work at sweepable sizes.
+var (
+	weakSimRateBand   = Band{0.85, 1.15}
+	weakSimEnergyBand = Band{0.85, 1.15}
+)
+
+// checkWeakScaling is the weak-scaling metamorphic family:
+//
+//   - closed forms: MatMulWeakScalingSweep and NBodyWeakScalingSweep must
+//     hold energy per flop exactly constant across p (the Eq. 10
+//     corollary E/n³ independent of p — an algebraic identity of the
+//     model, so the band is exact);
+//   - live simulator: 2.5D matmul with the per-rank block fixed (n = q·nb,
+//     p = q²) and the ring n-body with bodies per rank fixed (n = b·p)
+//     must hold the per-rank flop rate and the priced energy per flop
+//     inside snug bands as p grows — weak scaling measured on the runtime
+//     rather than evaluated in closed form.
+//
+// The closed-form legs run on the sweep's machine; the live legs run on
+// the sim-default machine (see checkSimMetamorphic for why) while still
+// honouring the negative-testing cost mutation.
+func checkWeakScaling(ck *checker, cfg Config) error {
+	checkWeakClosedForms(ck, cfg)
+	if err := checkSimWeakScalingMatMul(ck, cfg); err != nil {
+		return err
+	}
+	return checkSimWeakScalingNBody(ck, cfg)
+}
+
+func checkWeakClosedForms(ck *checker, cfg Config) {
+	m := cfg.Machine
+	ps := []float64{16, 64, 256, 1024}
+
+	const mmMem = 1 << 20
+	mm := core.MatMulWeakScalingSweep(m, mmMem, ps)
+	n0 := math.Sqrt(mmMem * ps[0])
+	epf0 := mm[0].Energy / (2 * n0 * n0 * n0)
+	for i, pt := range mm[1:] {
+		n := math.Sqrt(mmMem * pt.P)
+		epf := pt.Energy / (2 * n * n * n)
+		ck.checkBand("weak/closed-energy-per-flop", "matmul-classical",
+			Point{N: int(n), P: int(pt.P)}, "E/flop",
+			epf, epf0, exactBand,
+			fmt.Sprintf("Eq. 10 corollary: matmul energy per flop at p=%v vs p=%v (M fixed)", ps[i+1], ps[0]))
+	}
+
+	const nbMem, f = 1 << 10, 19
+	nb := core.NBodyWeakScalingSweep(m, nbMem, ps, f)
+	nbase := nbMem * ps[0]
+	nepf0 := nb[0].Energy / (f * nbase * nbase)
+	for i, pt := range nb[1:] {
+		n := nbMem * pt.P
+		nepf := pt.Energy / (f * n * n)
+		ck.checkBand("weak/closed-energy-per-flop", "nbody",
+			Point{N: int(n), P: int(pt.P)}, "E/flop",
+			nepf, nepf0, exactBand,
+			fmt.Sprintf("Eq. 10 corollary: n-body energy per interaction at p=%v vs p=%v (M fixed)", ps[i+1], ps[0]))
+	}
+}
+
+func checkSimWeakScalingMatMul(ck *checker, cfg Config) error {
+	const alg = "matmul-2.5d"
+	const nb = 24 // per-rank block edge, fixed: per-rank memory 3·nb²
+	m, cost := scalingCost(cfg)
+	qs := []int{2, 4}
+	if cfg.Level == Full {
+		qs = append(qs, 8)
+	}
+	var rate0, epf0 float64
+	for i, q := range qs {
+		n := q * nb
+		p := q * q
+		a := matrix.Random(n, n, 41)
+		b := matrix.Random(n, n, 42)
+		res, err := matmul.TwoPointFiveD(cost, q, 1, a, b)
+		if err != nil {
+			return fmt.Errorf("conformance: sim weak scaling matmul q=%d: %w", q, err)
+		}
+		flops := res.Sim.MaxStats().Flops
+		rate := flops / res.Sim.Time()
+		epf := core.PriceSim(m, res.Sim).Total() / (float64(p) * flops)
+		if i == 0 {
+			rate0, epf0 = rate, epf
+			continue
+		}
+		pt := Point{N: n, Q: q, P: p}
+		ck.checkBand("weak/sim-flop-rate", alg, pt, "F/T",
+			rate, rate0, weakSimRateBand,
+			fmt.Sprintf("per-rank flop rate at q=%d vs q=%d (block nb=%d fixed)", q, qs[0], nb))
+		ck.checkBand("weak/sim-energy-per-flop", alg, pt, "E/flop",
+			epf, epf0, weakSimEnergyBand,
+			fmt.Sprintf("measured energy per flop at q=%d vs q=%d (block nb=%d fixed)", q, qs[0], nb))
+	}
+	return nil
+}
+
+func checkSimWeakScalingNBody(ck *checker, cfg Config) error {
+	const alg = "nbody"
+	const b = 32 // bodies per rank, fixed: M = b
+	m, cost := scalingCost(cfg)
+	ps := []int{4, 8}
+	if cfg.Level == Full {
+		ps = append(ps, 16)
+	}
+	var rate0, epf0 float64
+	for i, p := range ps {
+		n := b * p
+		bodies := nbody.RandomBodies(n, 43)
+		res, err := nbody.Replicated(cost, p, 1, bodies)
+		if err != nil {
+			return fmt.Errorf("conformance: sim weak scaling n-body p=%d: %w", p, err)
+		}
+		flops := res.Sim.MaxStats().Flops
+		rate := flops / res.Sim.Time()
+		epf := core.PriceSim(m, res.Sim).Total() / (float64(p) * flops)
+		if i == 0 {
+			rate0, epf0 = rate, epf
+			continue
+		}
+		pt := Point{N: n, P: p}
+		ck.checkBand("weak/sim-flop-rate", alg, pt, "F/T",
+			rate, rate0, weakSimRateBand,
+			fmt.Sprintf("per-rank flop rate at p=%d vs p=%d (bodies per rank %d fixed)", p, ps[0], b))
+		ck.checkBand("weak/sim-energy-per-flop", alg, pt, "E/flop",
+			epf, epf0, weakSimEnergyBand,
+			fmt.Sprintf("measured energy per flop at p=%d vs p=%d (bodies per rank %d fixed)", p, ps[0], b))
+	}
+	return nil
+}

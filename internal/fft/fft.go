@@ -140,6 +140,7 @@ func Distributed(cost sim.Cost, p int, x []complex128, tree bool) (*RunResult, e
 		r.Alloc(2 * rowsPer * n2 * 2) // input rows + workspace, complex = 2 words
 
 		// Phase 1: for each owned row j1, FFT over j2 plus twiddles.
+		r.Phase("row-fft")
 		rows := make([][]complex128, rowsPer)
 		for ri := 0; ri < rowsPer; ri++ {
 			j1 := me*rowsPer + ri
@@ -159,6 +160,7 @@ func Distributed(cost sim.Cost, p int, x []complex128, tree bool) (*RunResult, e
 
 		// Exchange: rank t needs columns [t·colsPer, (t+1)·colsPer) of all
 		// rows. Pack per-target blocks, run the all-to-all, unpack.
+		r.Phase("all-to-all")
 		blockLen := rowsPer * colsPer * 2
 		sendBuf := make([]float64, p*blockLen)
 		for t := 0; t < p; t++ {
@@ -180,6 +182,7 @@ func Distributed(cost sim.Cost, p int, x []complex128, tree bool) (*RunResult, e
 		}
 
 		// Phase 2: for each owned column k2, gather B[·][k2], FFT over j1.
+		r.Phase("col-fft")
 		out := make([]complex128, colsPer*n1)
 		for ci := 0; ci < colsPer; ci++ {
 			col := make([]complex128, n1)

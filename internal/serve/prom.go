@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): one perfscale_requests_total series per (lane, outcome),
+// latency quantile gauges per lane, and the cache/panic/uptime counters.
+// Lanes and outcomes are emitted in sorted order so the output is stable
+// for tests and diffing.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP perfscale_uptime_seconds Time since the server started.\n# TYPE perfscale_uptime_seconds gauge\nperfscale_uptime_seconds %g\n", s.UptimeS); err != nil {
+		return err
+	}
+
+	lanes := make([]string, 0, len(s.Lanes))
+	for name := range s.Lanes {
+		lanes = append(lanes, name)
+	}
+	sort.Strings(lanes)
+
+	if err := p("# HELP perfscale_requests_total Finished requests by lane and outcome.\n# TYPE perfscale_requests_total counter\n"); err != nil {
+		return err
+	}
+	for _, name := range lanes {
+		ls := s.Lanes[name]
+		for _, oc := range []struct {
+			outcome string
+			n       int64
+		}{
+			{"served", ls.Served},
+			{"shed", ls.Shed},
+			{"rejected", ls.Rejected},
+			{"failed", ls.Failed},
+			{"timed_out", ls.TimedOut},
+			{"cancelled", ls.Cancelled},
+		} {
+			if err := p("perfscale_requests_total{lane=%q,outcome=%q} %d\n", name, oc.outcome, oc.n); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := p("# HELP perfscale_request_latency_ms Recent-window request latency quantiles by lane.\n# TYPE perfscale_request_latency_ms gauge\n"); err != nil {
+		return err
+	}
+	for _, name := range lanes {
+		ls := s.Lanes[name]
+		for _, qn := range []struct {
+			q string
+			v float64
+		}{
+			{"0.5", ls.P50Ms},
+			{"0.95", ls.P95Ms},
+			{"0.99", ls.P99Ms},
+			{"1", ls.MaxMs},
+		} {
+			if err := p("perfscale_request_latency_ms{lane=%q,quantile=%q} %g\n", name, qn.q, qn.v); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"perfscale_cache_hits_total", "Responses served from the result cache.", s.CacheHits},
+		{"perfscale_cache_misses_total", "Responses computed because the cache missed.", s.CacheMisses},
+		{"perfscale_cache_coalesced_total", "Requests that joined an in-flight identical computation.", s.Coalesced},
+		{"perfscale_panics_total", "Handler panics recovered by the server.", s.Panics},
+	} {
+		if err := p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promScrape fetches /metricsz in Prometheus format and parses it into a
+// metric map keyed by the full series name including labels. The parser is
+// deliberately strict about the exposition format: every non-comment line
+// must be `name{labels} value` or `name value`.
+func promScrape(t *testing.T, url string, header http.Header) map[string]float64 {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("scrape status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q is not the text exposition format", ct)
+	}
+	series := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name, valStr := line[:idx], line[idx+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("malformed value in line %q: %v", line, err)
+		}
+		if strings.ContainsAny(name, " \t") {
+			t.Fatalf("malformed series name %q", name)
+		}
+		if _, dup := series[name]; dup {
+			t.Fatalf("duplicate series %q", name)
+		}
+		series[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func TestMetricszPromFormat(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Generate traffic: two identical cheap queries (miss + hit) and one
+	// bad request.
+	get(t, ts.URL+"/price?alg=matmul&n=4096&p=64")
+	get(t, ts.URL+"/price?alg=matmul&n=4096&p=64")
+	if code, _, _ := get(t, ts.URL+"/price?alg=matmul&n=-1&p=64"); code != 400 {
+		t.Fatalf("bad request returned %d", code)
+	}
+
+	series := promScrape(t, ts.URL+"/metricsz?format=prom", nil)
+
+	if got := series[`perfscale_requests_total{lane="cheap",outcome="served"}`]; got != 2 {
+		t.Fatalf("served counter = %v, want 2", got)
+	}
+	if got := series[`perfscale_requests_total{lane="cheap",outcome="rejected"}`]; got != 1 {
+		t.Fatalf("rejected counter = %v, want 1", got)
+	}
+	if got := series["perfscale_cache_hits_total"]; got != 1 {
+		t.Fatalf("cache hits = %v, want 1", got)
+	}
+	if got := series["perfscale_cache_misses_total"]; got != 1 {
+		t.Fatalf("cache misses = %v, want 1", got)
+	}
+	if got := series["perfscale_panics_total"]; got != 0 {
+		t.Fatalf("panics = %v, want 0", got)
+	}
+	if got := series["perfscale_uptime_seconds"]; got < 0 {
+		t.Fatalf("uptime = %v", got)
+	}
+	// Per-lane shed counters and latency quantiles exist for every lane
+	// the server has seen, with every quantile present.
+	for _, q := range []string{"0.5", "0.95", "0.99", "1"} {
+		name := fmt.Sprintf(`perfscale_request_latency_ms{lane="cheap",quantile=%q}`, q)
+		if _, ok := series[name]; !ok {
+			t.Fatalf("missing latency series %s (have %v)", name, series)
+		}
+	}
+	if _, ok := series[`perfscale_requests_total{lane="cheap",outcome="shed"}`]; !ok {
+		t.Fatalf("missing shed counter")
+	}
+}
+
+func TestMetricszContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Accept header requesting the exposition format selects Prometheus.
+	h := http.Header{}
+	h.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;q=0.5")
+	series := promScrape(t, ts.URL+"/metricsz", h)
+	if _, ok := series["perfscale_uptime_seconds"]; !ok {
+		t.Fatalf("negotiated scrape misses uptime: %v", series)
+	}
+
+	// Default stays JSON.
+	code, body, hdr := get(t, ts.URL+"/metricsz")
+	if code != 200 {
+		t.Fatalf("JSON metricsz status %d", code)
+	}
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("default content type %q", hdr.Get("Content-Type"))
+	}
+	if _, ok := body["uptime_s"]; !ok {
+		t.Fatalf("JSON body misses uptime_s: %v", body)
+	}
+}
+
+func TestWritePromShedCounter(t *testing.T) {
+	// Snapshot-level check that a shed increments exactly the shed series.
+	m := newMetrics(time.Now())
+	m.record("heavy", 429, 0, false)
+	m.record("heavy", 200, 5*time.Millisecond, false)
+	var sb strings.Builder
+	if err := m.Snapshot(time.Now()).WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`perfscale_requests_total{lane="heavy",outcome="shed"} 1`,
+		`perfscale_requests_total{lane="heavy",outcome="served"} 1`,
+		`perfscale_requests_total{lane="heavy",outcome="failed"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -382,8 +383,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(time.Now()))
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot(time.Now())
+	// Prometheus scrape: explicit ?format=prom, or an Accept header that
+	// asks for the text exposition format. JSON stays the default for
+	// humans and the existing tooling.
+	if r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain; version=0.0.4") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := snap.WriteProm(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // runLane is the common fill path for cached endpoints: admit into the
