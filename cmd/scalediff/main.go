@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"perfscale/internal/analytics"
+	"perfscale/internal/bounds"
 	"perfscale/internal/fft"
 	"perfscale/internal/machine"
 	"perfscale/internal/matmul"
@@ -199,7 +200,19 @@ func runDiff(w *report.ErrWriter, s diffSpec) int {
 	if exp == 0 {
 		exp = float64(profA.P) / float64(profB.P)
 	}
-	rep := analytics.Diff(profA, profB, analytics.DiffOptions{ExpectedRatio: exp, Tolerance: s.tol})
+	opt := analytics.DiffOptions{ExpectedRatio: exp, Tolerance: s.tol}
+	// Annotate the comparison with the exact perfect-scaling plateau end for
+	// the fixed problem and per-rank memory of this configuration, so an
+	// efficiency dip past it is attributed to the memory-independent wall.
+	switch s.alg {
+	case "matmul":
+		pl := bounds.ClassicalPlateau(float64(s.n), float64(s.n*s.n)/float64(s.q*s.q))
+		opt.PlateauP, opt.PlateauBound = pl.PEnd, pl.IndependentBound
+	case "nbody":
+		pl := bounds.NBodyPlateau(float64(s.n), float64(s.n)/float64(s.q))
+		opt.PlateauP, opt.PlateauBound = pl.PEnd, pl.IndependentBound
+	}
+	rep := analytics.Diff(profA, profB, opt)
 	if s.jsonOut {
 		writeJSON(w, map[string]any{"a": profA, "b": profB, "diff": rep})
 		return 0

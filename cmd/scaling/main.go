@@ -7,8 +7,11 @@
 //	-strassen  Experiment E4 — Strassen/CAPS model sweep plus simulator runs
 //	-threeD    Experiment E3 — energy along the 3D limit (Eq. 11)
 //	-weak      E22 — weak scaling at constant energy per flop (closed form)
+//	-rect      tight rectangular (m×k×n) matmul bounds — aspect-ratio regime
+//	           map plus live rectangular SUMMA runs against the bound
 //	-curves    measured efficiency-vs-p curves (strong + weak families) on
-//	           the live simulator, with closed-form predictions
+//	           the live simulator, with closed-form predictions and the
+//	           predicted perfect-scaling plateau end per row
 //
 // With no flags it runs everything except -curves. Output goes to stdout
 // or the -o file; write failures exit non-zero.
@@ -42,6 +45,7 @@ func run() int {
 		strass  = flag.Bool("strassen", false, "E4: Strassen energy scaling")
 		threeD  = flag.Bool("threeD", false, "E3: 3D-limit energy tradeoff")
 		weak    = flag.Bool("weak", false, "E22: weak scaling at constant energy per flop")
+		rect    = flag.Bool("rect", false, "rectangular matmul bounds: regime map plus live SUMMA runs vs bound")
 		curves  = flag.Bool("curves", false, "measured efficiency-vs-p curves (strong + weak)")
 		runtime = flag.String("runtime", "goroutine", "simulator backend for -curves: goroutine or event")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -52,7 +56,7 @@ func run() int {
 		fig3Pts = flag.Int("fig3-points", 25, "Figure 3 sample count")
 	)
 	flag.Parse()
-	all := !*fig3 && !*perfect && !*strass && !*threeD && !*weak && !*curves
+	all := !*fig3 && !*perfect && !*strass && !*threeD && !*weak && !*rect && !*curves
 
 	m, err := machine.Resolve(*mach)
 	if err != nil {
@@ -93,6 +97,12 @@ func run() int {
 	if all || *weak {
 		runWeak(emit, m)
 	}
+	if all || *rect {
+		if err := runRect(emit, m); err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			code = 1
+		}
+	}
 	if *curves {
 		if err := runCurves(emit, m, *runtime); err != nil {
 			fmt.Fprintln(os.Stderr, "scaling:", err)
@@ -127,11 +137,57 @@ func runCurves(emit func(*report.Table), m machine.Params, runtime string) error
 		return err
 	}
 	t := report.NewTable(fmt.Sprintf("Efficiency-vs-p curves (%s runtime): measured vs closed-form prediction", runtime),
-		"family", "algorithm", "n", "p", "c", "sim T (s)", "E (J)", "efficiency", "predicted", "E ratio")
+		"family", "algorithm", "n", "p", "c", "sim T (s)", "E (J)", "efficiency", "predicted", "E ratio", "plateau p*", "binding bound")
 	for _, r := range rows {
-		t.AddRow(r.Family, r.Algorithm, r.N, r.P, r.C, r.SimT, r.EnergyJ, r.Efficiency, r.Predicted, r.EnergyRatio)
+		t.AddRow(r.Family, r.Algorithm, r.N, r.P, r.C, r.SimT, r.EnergyJ, r.Efficiency, r.Predicted, r.EnergyRatio,
+			r.PlateauP, r.PlateauBound)
 	}
 	emit(t)
+	return nil
+}
+
+// runRect reports the tight rectangular (m×k×n) lower bounds of Al Daas
+// et al.: first the closed-form aspect-ratio regime map for a few shapes,
+// then live rectangular SUMMA runs whose busiest-rank traffic is compared
+// against the bound that applies at each grid.
+func runRect(emit func(*report.Table), m machine.Params) error {
+	t := report.NewTable("Rectangular matmul bounds: aspect-ratio regimes (Al Daas et al.)",
+		"m", "k", "n", "one-large until p", "two-large until p", "regime at p=64", "bound W at p=64")
+	for _, s := range [][3]float64{
+		{4096, 64, 64},
+		{4096, 4, 4096},
+		{256, 1024, 64},
+		{512, 512, 512},
+	} {
+		p1, p2 := bounds.RectRegimeBoundaries(s[0], s[1], s[2])
+		wb, regime := bounds.RectMemIndepWords(s[0], s[1], s[2], 64)
+		t.AddRow(s[0], s[1], s[2], report.FormatFloat(p1), report.FormatFloat(p2), regime.String(), wb)
+	}
+	emit(t)
+
+	// Live runs: fixed rectangular shape, growing grid; the measured
+	// busiest-rank words moved must sit above the applicable bound, and the
+	// regime column names which form of it binds.
+	const mDim, kDim, n, panel = 48, 16, 32, 4
+	cost := sim.Cost{GammaT: m.GammaT, BetaT: m.BetaT, AlphaT: m.AlphaT, MaxMsgWords: int(m.MaxMsgWords)}
+	a := matrix.Random(mDim, kDim, 51)
+	b := matrix.Random(kDim, n, 52)
+	t2 := report.NewTable(fmt.Sprintf("Rectangular SUMMA, m=%d k=%d n=%d: measured vs lower bound", mDim, kDim, n),
+		"grid", "p", "sim T (s)", "max W moved", "bound W", "regime")
+	for _, g := range [][2]int{{1, 2}, {2, 2}, {2, 4}, {4, 4}} {
+		pr, pc := g[0], g[1]
+		res, err := matmul.SUMMARect(cost, pr, pc, panel, a, b)
+		if err != nil {
+			return fmt.Errorf("rect summa %dx%d: %w", pr, pc, err)
+		}
+		var moved float64
+		for _, s := range res.Sim.PerRank {
+			moved = math.Max(moved, s.WordsSent+s.WordsRecv)
+		}
+		wb, regime := bounds.RectMemIndepWords(float64(mDim), float64(kDim), float64(n), float64(pr*pc))
+		t2.AddRow(fmt.Sprintf("%dx%d", pr, pc), pr*pc, res.Sim.Time(), moved, wb, regime.String())
+	}
+	emit(t2)
 	return nil
 }
 
@@ -166,9 +222,11 @@ func runFig3(w *report.ErrWriter, emit func(*report.Table), n, mem float64, poin
 	if !csv {
 		w.Println(report.Chart("Figure 3 (log-log); flat region = perfect strong scaling",
 			64, 16, true, true, cs, ss))
-		w.Printf("classical saturation p = %s, strassen saturation p = %s\n\n",
-			report.FormatFloat(bounds.MatMulPMax(n, mem)),
-			report.FormatFloat(bounds.FastMatMulPMax(n, mem, bounds.OmegaStrassen)))
+		cl, st := bounds.Fig3Plateaus(n, mem)
+		w.Printf("classical: perfect scaling ends at p = %s; past it the %s bound binds\n",
+			report.FormatFloat(cl.PEnd), cl.IndependentBound)
+		w.Printf("strassen:  perfect scaling ends at p = %s; past it the %s bound binds\n\n",
+			report.FormatFloat(st.PEnd), st.IndependentBound)
 	}
 }
 

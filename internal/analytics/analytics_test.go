@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"perfscale/internal/bounds"
 	"perfscale/internal/core"
 	"perfscale/internal/machine"
 	"perfscale/internal/matmul"
@@ -212,6 +213,85 @@ func TestStrongMatMulCurve(t *testing.T) {
 	}
 	if r1.Key() == r0.Key() {
 		t.Fatalf("rows share a key: %s", r0.Key())
+	}
+	// Plateau annotation: n=96, q=4 fixes M = 576 per rank, so perfect
+	// scaling ends exactly at p* = n³/M^(3/2) = 64; both rows sit inside
+	// and must be attributed to the memory-dependent bound.
+	for _, r := range rows {
+		if math.Abs(r.PlateauP/64-1) > 1e-9 {
+			t.Fatalf("plateau end = %g, want 64 (%+v)", r.PlateauP, r)
+		}
+		if r.PlateauBound != bounds.BoundClassicalMemDep {
+			t.Fatalf("binding bound inside the plateau = %q, want %q", r.PlateauBound, bounds.BoundClassicalMemDep)
+		}
+	}
+}
+
+func TestRectSUMMACurve(t *testing.T) {
+	sc := SweepConfig{Machine: testMachine(), Runtime: sim.RuntimeGoroutine}
+	rows, err := RectSUMMACurve(sc, 48, 16, 32, 4, [][2]int{{1, 2}, {2, 2}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	if rows[0].Efficiency != 1 {
+		t.Fatalf("first point not normalized: %+v", rows[0])
+	}
+	for i, r := range rows {
+		if r.Algorithm != "matmul-summa-rect" || r.Family != "strong" {
+			t.Fatalf("row %d mislabeled: %+v", i, r)
+		}
+		if !strings.HasPrefix(r.PlateauBound, bounds.BoundRectPrefix) {
+			t.Fatalf("row %d bound %q is not a rect regime attribution", i, r.PlateauBound)
+		}
+		if r.PlateauP <= 0 || r.Predicted <= 0 {
+			t.Fatalf("row %d missing plateau/prediction: %+v", i, r)
+		}
+		if r.Efficiency < 0.1 || r.Efficiency > 1.5 {
+			t.Fatalf("row %d efficiency off the rails: %+v", i, r)
+		}
+	}
+	// The grids straddle the two-large→three-large crossover of the 48×16×32
+	// shape: the attribution must not be constant across the curve.
+	if rows[0].PlateauBound == rows[2].PlateauBound {
+		t.Fatalf("regime attribution never changed: %q", rows[0].PlateauBound)
+	}
+}
+
+// TestDiffWallAnnotation: dividing a p=16 run by a p=64 run of the same
+// problem with the plateau options set must annotate the report with the
+// memory-independent wall — and leave it off when the options are absent.
+func TestDiffWallAnnotation(t *testing.T) {
+	m := testMachine()
+	cost := sim.Cost{GammaT: m.GammaT, BetaT: m.BetaT, AlphaT: m.AlphaT}
+	_, profA := observedMatMul(t, cost, 4, 1, 96)
+	_, profB := observedMatMul(t, cost, 4, 4, 96)
+
+	pl := bounds.ClassicalPlateau(96, 96*96/16)
+	rep := Diff(profA, profB, DiffOptions{
+		ExpectedRatio: 0.25,
+		PlateauP:      pl.PEnd,
+		PlateauBound:  pl.IndependentBound,
+	})
+	if rep.Wall == "" {
+		t.Fatal("p=64 at the plateau end produced no wall annotation")
+	}
+	if !strings.Contains(rep.Wall, "memory-independent wall") ||
+		!strings.Contains(rep.Wall, bounds.BoundClassicalMemIndep) {
+		t.Fatalf("wall annotation does not name the binding bound: %q", rep.Wall)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "note: "+rep.Wall) {
+		t.Fatalf("text report does not carry the wall note:\n%s", buf.String())
+	}
+
+	if rep := Diff(profA, profB, DiffOptions{ExpectedRatio: 0.25}); rep.Wall != "" {
+		t.Fatalf("wall annotated without plateau options: %q", rep.Wall)
 	}
 }
 

@@ -21,6 +21,15 @@ type DiffOptions struct {
 	// fraction on both sides: a 0.1% phase running 3x slow is noise, not a
 	// bottleneck. Zero defaults to 0.02.
 	ShareFloor float64
+	// PlateauP optionally carries the predicted perfect-scaling plateau
+	// endpoint p* for the configuration under comparison, and PlateauBound
+	// the name of the memory-independent bound that binds past it (see
+	// internal/bounds). When side B sits past p*, the report's Wall line
+	// names the wall, so a sub-1 efficiency is attributed to the lower
+	// bound rather than read as an implementation regression. Zero leaves
+	// the annotation off.
+	PlateauP     float64
+	PlateauBound string
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -84,6 +93,11 @@ type DiffReport struct {
 	// Bottleneck names the flagged phase with the largest excess time; ""
 	// when no phase is flagged.
 	Bottleneck string `json:"bottleneck,omitempty"`
+	// Wall explains an expected efficiency loss: when side B's processor
+	// count lies past the predicted perfect-scaling plateau end
+	// (DiffOptions.PlateauP), it names the memory-independent bound that
+	// binds there.
+	Wall string `json:"wall,omitempty"`
 }
 
 // Diff divides profile b by profile a, phase by phase: the Hatchet-style
@@ -104,6 +118,11 @@ func Diff(a, b *PhaseProfile, opt DiffOptions) *DiffReport {
 	}
 	if ea := a.Energy.Total(); ea > 0 {
 		rep.EnergyRatio = b.Energy.Total() / ea
+	}
+	if opt.PlateauP > 0 && float64(b.P) >= opt.PlateauP*(1-1e-12) {
+		rep.Wall = fmt.Sprintf(
+			"p=%d is at or past the perfect-scaling plateau end p* = %.4g: the %s bound binds — hit the memory-independent wall",
+			b.P, opt.PlateauP, opt.PlateauBound)
 	}
 
 	lo, hi := 1/(1+opt.Tolerance), 1+opt.Tolerance
@@ -190,9 +209,16 @@ func (r *DiffReport) WriteText(w io.Writer) error {
 		}
 	}
 	if r.Bottleneck != "" {
-		return p("scaling bottleneck: %s (%+.4g s beyond prediction)\n", r.Bottleneck, excessOf(r))
+		if err := p("scaling bottleneck: %s (%+.4g s beyond prediction)\n", r.Bottleneck, excessOf(r)); err != nil {
+			return err
+		}
+	} else if err := p("all phases within tolerance of the predicted scaling\n"); err != nil {
+		return err
 	}
-	return p("all phases within tolerance of the predicted scaling\n")
+	if r.Wall != "" {
+		return p("note: %s\n", r.Wall)
+	}
+	return nil
 }
 
 // excessOf returns the bottleneck phase's excess seconds.

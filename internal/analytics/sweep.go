@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"perfscale/internal/bounds"
 	"perfscale/internal/core"
 	"perfscale/internal/fft"
 	"perfscale/internal/machine"
@@ -48,6 +49,16 @@ type CurvePoint struct {
 	// the family's expected scale. The regression gate compares both.
 	PhaseSpans map[string]float64 `json:"phase_spans,omitempty"`
 	PhaseEff   map[string]float64 `json:"phase_eff,omitempty"`
+
+	// PlateauP is the exact predicted endpoint p* of the perfect-scaling
+	// plateau for this curve's fixed problem size and per-rank memory
+	// (internal/bounds; zero when no closed-form plateau applies), and
+	// PlateauBound names the lower bound that binds at this row's p: the
+	// memory-dependent bound inside the plateau, the memory-independent
+	// wall past it. A sub-1 efficiency at p > PlateauP is the wall, not a
+	// regression.
+	PlateauP     float64 `json:"plateau_p,omitempty"`
+	PlateauBound string  `json:"plateau_bound,omitempty"`
 }
 
 // Key identifies the row for baseline matching.
@@ -191,10 +202,13 @@ func predictStrongMatMul(m machine.Params, rows []CurvePoint, q int) {
 	mem := n * n / pmin
 	t0 := core.MatMulClassical(m, n, pmin*float64(rows[0].C), mem).TotalTime()
 	p0 := float64(rows[0].P)
+	pl := bounds.ClassicalPlateau(n, mem)
 	for i := range rows {
 		p := float64(rows[i].P)
 		t := core.MatMulClassical(m, n, p, mem).TotalTime()
 		rows[i].Predicted = t0 * p0 / (t * p)
+		rows[i].PlateauP = pl.PEnd
+		rows[i].PlateauBound = pl.BindingAt(p)
 	}
 }
 
@@ -232,9 +246,69 @@ func StrongNBodyCurve(sc SweepConfig, n, k int, cs []int) ([]CurvePoint, error) 
 		const f = 19 // the paper's flops per interaction; the sim uses its own constant, ratios cancel
 		t0 := core.NBody(sc.Machine, float64(n), float64(rows[0].P), mem, f).TotalTime()
 		p0 := float64(rows[0].P)
+		pl := bounds.NBodyPlateau(float64(n), mem)
 		for i := range rows {
 			t := core.NBody(sc.Machine, float64(n), float64(rows[i].P), mem, f).TotalTime()
 			rows[i].Predicted = t0 * p0 / (t * float64(rows[i].P))
+			rows[i].PlateauP = pl.PEnd
+			rows[i].PlateauBound = pl.BindingAt(float64(rows[i].P))
+		}
+	}
+	return rows, nil
+}
+
+// RectSUMMACurve measures strong scaling of rectangular SUMMA at a fixed
+// (m,k,n) shape over a list of pr×pc process grids, annotated with the
+// tight rectangular lower bound of Al Daas et al. (arXiv:2205.13407):
+// PlateauBound names the aspect-ratio regime that governs each row's p,
+// and PlateauP the grid size beyond which all three dimensions are
+// "large" and the cube-root law takes over — the rectangular analogue of
+// the memory-independent wall. Predicted is the α-β-γ model's
+// T(p0)·p0/(T(p)·p) with W = mk/pr + kn/pc and S = 2k/panel.
+func RectSUMMACurve(sc SweepConfig, mDim, kDim, n, panel int, grids [][2]int) ([]CurvePoint, error) {
+	a := matrix.Random(mDim, kDim, 51)
+	b := matrix.Random(kDim, n, 52)
+	rows := make([]CurvePoint, 0, len(grids))
+	profs := make([]*PhaseProfile, 0, len(grids))
+	model := func(pr, pc int) float64 {
+		p := float64(pr * pc)
+		w := float64(mDim*kDim)/float64(pr) + float64(kDim*n)/float64(pc)
+		s := 2 * float64(kDim) / float64(panel)
+		return sc.Machine.GammaT*2*float64(mDim)*float64(kDim)*float64(n)/p +
+			sc.Machine.BetaT*w + sc.Machine.AlphaT*s
+	}
+	for _, g := range grids {
+		pr, pc := g[0], g[1]
+		p := pr * pc
+		or, err := runObserved(sc, p, Meta{Algorithm: "matmul-summa-rect", N: n, C: 1}, func(cost sim.Cost) (*sim.Result, error) {
+			res, err := matmul.SUMMARect(cost, pr, pc, panel, a, b)
+			if err != nil {
+				return nil, err
+			}
+			return res.Sim, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analytics: rect summa %dx%d: %w", pr, pc, err)
+		}
+		_, p2 := bounds.RectRegimeBoundaries(float64(mDim), float64(kDim), float64(n))
+		_, regime := bounds.RectAccesses(float64(mDim), float64(kDim), float64(n), float64(p))
+		rows = append(rows, CurvePoint{
+			Family: "strong", Algorithm: "matmul-summa-rect", Runtime: sc.Runtime.String(),
+			N: n, P: p, C: 1,
+			SimT:         or.res.Time(),
+			EnergyJ:      core.PriceSim(sc.Machine, or.res).Total(),
+			RankFlops:    or.res.MaxStats().Flops,
+			PlateauP:     p2,
+			PlateauBound: regime.BoundName(),
+		})
+		profs = append(profs, or.prof)
+	}
+	finishCurve(rows, profs)
+	if len(rows) > 0 {
+		t0 := model(grids[0][0], grids[0][1])
+		p0 := float64(rows[0].P)
+		for i := range rows {
+			rows[i].Predicted = t0 * p0 / (model(grids[i][0], grids[i][1]) * float64(rows[i].P))
 		}
 	}
 	return rows, nil

@@ -179,7 +179,12 @@ func Fig3Series(n, mem float64, points int) []Fig3Point {
 	pEnd := 8 * pmaxClassical
 	out := make([]Fig3Point, 0, points)
 	for i := 0; i < points; i++ {
-		frac := float64(i) / float64(points-1)
+		// A single-point series is the pmin point (i/(points-1) would be
+		// 0/0 there).
+		frac := 0.0
+		if points > 1 {
+			frac = float64(i) / float64(points-1)
+		}
 		p := pmin * math.Pow(pEnd/pmin, frac)
 		out = append(out, Fig3Point{
 			P:           p,

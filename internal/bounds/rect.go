@@ -1,0 +1,120 @@
+package bounds
+
+import (
+	"math"
+	"sort"
+)
+
+// Tight rectangular matmul lower bounds (Al Daas, Ballard, Grigori, Kumar
+// & Rouse, arXiv:2205.13407). For C = A·B with A m×k and B k×n on p
+// processors, some processor performs ≥ mkn/p scalar multiplications; the
+// Loomis–Whitney inequality says its accessed operand sets (a words of A,
+// b of B, c of C) satisfy a·b·c ≥ (mkn/p)². The tight access bound is the
+// exact optimum of
+//
+//	minimize  a + b + c
+//	subject to a·b·c ≥ F²,  a ≤ mk,  b ≤ kn,  c ≤ mn,   F = mkn/p,
+//
+// whose closed form depends only on the sorted matrix sizes
+// s1 ≤ s2 ≤ s3 of {mk, kn, mn}. Three regimes, by how many of the caps
+// are inactive (equivalently how many dimensions stay "large" relative to
+// the partitioning p):
+//
+//	three-large (p ≥ mkn/s1^(3/2)):      accesses ≥ 3·F^(2/3)
+//	two-large   (p ≥ mkn/(s2·√s1)):      accesses ≥ 2·F/√s1 + s1
+//	one-large   (otherwise):             accesses ≥ F²/(s1·s2) + s1 + s2
+//
+// The square case m = k = n is always three-large and reduces to the
+// classical memory-independent bound 3·(n³/p)^(2/3).
+
+// RectRegime identifies which aspect-ratio regime of the rectangular
+// bound applies at a given (m, k, n, p).
+type RectRegime int
+
+// The three regimes, ordered by increasing p for a fixed shape.
+const (
+	OneLargeDim RectRegime = iota
+	TwoLargeDims
+	ThreeLargeDims
+)
+
+// String names the regime as used in bound attribution.
+func (r RectRegime) String() string {
+	switch r {
+	case OneLargeDim:
+		return "one-large-dim"
+	case TwoLargeDims:
+		return "two-large-dims"
+	default:
+		return "three-large-dims"
+	}
+}
+
+// BoundName returns the composite-attribution name "rect/<regime>".
+func (r RectRegime) BoundName() string { return BoundRectPrefix + r.String() }
+
+// sortedFaces returns the three matrix sizes mk, kn, mn in ascending
+// order.
+func sortedFaces(m, k, n float64) (s1, s2, s3 float64) {
+	s := []float64{m * k, k * n, m * n}
+	sort.Float64s(s)
+	return s[0], s[1], s[2]
+}
+
+// RectAccesses returns the optimal value of the LP above — the minimum
+// operand accesses of the busiest processor — and the regime that attains
+// it.
+func RectAccesses(m, k, n, p float64) (float64, RectRegime) {
+	if m <= 0 || k <= 0 || n <= 0 || p <= 0 {
+		return 0, ThreeLargeDims
+	}
+	s1, s2, _ := sortedFaces(m, k, n)
+	f := m * k * n / p
+	// The branch conditions carry a relative epsilon: at an exact boundary
+	// (e.g. any square shape at p = 1, where F^(2/3) = s1) Pow rounding
+	// can land a few ulps on the wrong side. The values are continuous
+	// across the boundary, so the slack only stabilizes the regime label.
+	const eps = 1e-12
+	if cr := math.Pow(f, 2.0/3.0); cr <= s1*(1+eps) {
+		// All caps slack: the symmetric point a = b = c = F^(2/3).
+		return 3 * cr, ThreeLargeDims
+	}
+	if f/math.Sqrt(s1) <= s2*(1+eps) {
+		// Smallest matrix pinned at its cap: a = s1, b = c = F/√s1.
+		return 2*f/math.Sqrt(s1) + s1, TwoLargeDims
+	}
+	// Two matrices pinned: a = s1, b = s2, c = F²/(s1·s2).
+	return f*f/(s1*s2) + s1 + s2, OneLargeDim
+}
+
+// RectRegimeBoundaries returns the two processor counts at which the
+// regime changes for a fixed shape: below p1 the one-large-dim form
+// applies, between p1 and p2 two-large-dims, at and above p2
+// three-large-dims. The access bound is continuous at both (it equals
+// s1 + 2·s2 at p1 and 3·s1 at p2). For square shapes both boundaries are
+// 1: every p is three-large.
+func RectRegimeBoundaries(m, k, n float64) (p1, p2 float64) {
+	s1, s2, _ := sortedFaces(m, k, n)
+	prod := m * k * n
+	return prod / (s2 * math.Sqrt(s1)), prod / math.Pow(s1, 1.5)
+}
+
+// RectMemIndepWords returns the memory-independent per-processor word
+// bound for rectangular matmul: the optimal accesses minus the
+// (mk+kn+mn)/p words an evenly loaded processor can own, floored at zero.
+// The regime reports which closed form produced the access bound.
+func RectMemIndepWords(m, k, n, p float64) (float64, RectRegime) {
+	acc, regime := RectAccesses(m, k, n, p)
+	owned := (m*k + k*n + m*n) / p
+	return math.Max(0, acc-owned), regime
+}
+
+// RectMemDepWords is the memory-dependent rectangular bound: ITT's
+// segment argument applied to the mkn/p multiplies of the busiest rank,
+// W ≥ mkn/(2√2·p·√M) − M.
+func RectMemDepWords(m, k, n, p, mem float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return MemDepWords(m*k*n/p, mem)
+}

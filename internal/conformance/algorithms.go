@@ -34,9 +34,11 @@ type algRun struct {
 	res *sim.Result
 	// expects lists the model comparisons for this point.
 	expects []expectation
-	// lowerW, when positive, is the communication lower bound (Section III,
-	// constants dropped) the busiest rank's WordsSent must not fall below.
-	lowerW float64
+	// lower is the composite of exact-constant communication lower bounds
+	// applicable to this run; the bounds family asserts the busiest rank's
+	// words moved (sent + received) never fall below its maximum. An empty
+	// set skips the floor check.
+	lower bounds.BoundSet
 	// faulted marks runs executed under a fault plan; the exact pricing
 	// identities assume clean uniform links and are skipped for them.
 	faulted bool
@@ -58,6 +60,7 @@ var algorithms = []algorithmDef{
 	{name: "matmul-2.5d", points: matmul25DPoints, run: runMatMul25D},
 	{name: "matmul-3d", points: matmul3DPoints, run: runMatMul3D},
 	{name: "matmul-summa-2.5d", points: matmul25DPoints, run: runMatMulSUMMA},
+	{name: "matmul-summa-rect", points: matmulRectPoints, run: runMatMulRect},
 	{name: "caps", points: capsPoints, run: runCAPS},
 	{name: "lu-stacked", points: luPoints, run: runLU},
 	{name: "nbody", points: nbodyPoints, run: runNBody},
@@ -147,7 +150,7 @@ func runMatMul25D(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 	return &algRun{
 		res:     r.Sim,
 		expects: expects,
-		lowerW:  classicalLowerW(pt),
+		lower:   classicalBounds(pt),
 	}, nil
 }
 
@@ -198,7 +201,81 @@ func runMatMulSUMMA(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) 
 		// doesn't have; T/E follow S on latency-dominated sweep sizes.
 		expects: matmulExpectations(m, pt, r.Sim,
 			Band{1.7, 9}, Band{8, 21}, Band{5.5, 28}, Band{1.8, 9}),
-		lowerW: classicalLowerW(pt),
+		lower: classicalBounds(pt),
+	}, nil
+}
+
+// matmulRectPoints sweeps genuinely non-square (m, k, n) shapes on
+// non-square pr×pc grids — the coordinates the square-centric families
+// never exercise, covering distinct aspect-ratio regimes of the Al Daas et
+// al. rectangular bound.
+func matmulRectPoints(l Level) []Point {
+	pts := []Point{
+		// Wide-ish C on a 2×4 grid, panelled k.
+		{MDim: 24, KDim: 16, N: 32, PR: 2, PC: 4, Panel: 4, P: 8},
+		// Tall-skinny: m ≫ k = n.
+		{MDim: 64, KDim: 8, N: 8, PR: 4, PC: 2, Panel: 2, P: 8},
+	}
+	if l == Full {
+		pts = append(pts,
+			Point{MDim: 48, KDim: 32, N: 64, PR: 4, PC: 8, Panel: 4, P: 32},
+			Point{MDim: 96, KDim: 96, N: 24, PR: 4, PC: 4, Panel: 8, P: 16},
+		)
+	}
+	return pts
+}
+
+// rectSUMMAModel returns the per-rank receive volume and broadcast-step
+// count of SUMMARect: every rank receives each A panel of its process row
+// (mk/pr words over the whole k extent) and each B panel of its column
+// (kn/pc), in 2·(k/panel) broadcast steps.
+func rectSUMMAModel(pt Point) (words, steps float64) {
+	m, k, n := float64(pt.MDim), float64(pt.KDim), float64(pt.N)
+	return m*k/float64(pt.PR) + k*n/float64(pt.PC), 2 * k / float64(pt.Panel)
+}
+
+func runMatMulRect(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
+	a := matrix.Random(pt.MDim, pt.KDim, 12)
+	b := matrix.Random(pt.KDim, pt.N, 13)
+	r, err := matmul.SUMMARect(cost, pt.PR, pt.PC, pt.Panel, a, b)
+	if err != nil {
+		return nil, err
+	}
+	if d := r.C.MaxAbsDiff(matmul.Serial(a, b)); d > 1e-9*float64(pt.KDim) {
+		return nil, fmt.Errorf("numerical mismatch vs serial: %g", d)
+	}
+	mm, kk, nn := float64(pt.MDim), float64(pt.KDim), float64(pt.N)
+	p := float64(pt.P)
+	rowsPer := pt.MDim / pt.PR
+	colsPer := pt.N / pt.PC
+	footprint := float64(rowsPer*(pt.KDim/pt.PC) + (pt.KDim/pt.PR)*colsPer + rowsPer*colsPer)
+	s := r.Sim.MaxStats()
+	modelW, modelS := rectSUMMAModel(pt)
+	return &algRun{
+		res: r.Sim,
+		expects: []expectation{
+			// Perfect balance: every rank multiplies rowsPer×panel×colsPer
+			// blocks across the whole k extent — exactly 2·m·k·n/p flops.
+			{quantity: "F", got: s.Flops, model: 2 * mm * kk * nn / p,
+				band:   exactBand,
+				detail: "busiest-rank flops vs exact multiply-adds 2·m·k·n/p"},
+			{quantity: "M", got: s.PeakMemWords, model: footprint,
+				band:   exactBand,
+				detail: "peak tracked words vs exact A/B/C block footprint"},
+			// Senders are the per-step broadcast roots; the busiest rank's
+			// sent volume tracks the per-rank receive volume mk/pr + kn/pc
+			// with a grid-dependent constant (roots resend their panel to
+			// the BcastLarge scatter + allgather).
+			{quantity: "W", got: s.WordsSent, model: modelW,
+				band:   Band{0.7, 1.2},
+				detail: "busiest-rank words sent vs SUMMA panel volume mk/pr + kn/pc"},
+			{quantity: "S", got: s.MsgsSent, model: modelS,
+				band:   Band{2.5, 8.5},
+				detail: "busiest-rank messages vs 2·(k/panel) broadcast steps (BcastLarge sends size announcements + scatter/allgather chunks per step)"},
+		},
+		lower: bounds.MatMulBounds(bounds.MatMulProblem{
+			M: mm, K: kk, N: nn, P: p, Mem: footprint,
+		}),
 	}, nil
 }
 
@@ -243,7 +320,7 @@ func runMatMul3D(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 			{quantity: "E", got: core.PriceSim(m, r.Sim).Total(), model: eval.TotalEnergy(),
 				band: Band{2, 5.5}, detail: "priced energy vs Eq. 2 at the 3D limit"},
 		},
-		lowerW: classicalLowerW(pt),
+		lower: classicalBounds(pt),
 	}, nil
 }
 
@@ -264,14 +341,18 @@ func reduceCombineFlops(nb, f int) float64 {
 	return float64(bits.Len(uint(f-1))) * float64(k)
 }
 
-// classicalLowerW returns the classical memory-aware word lower bound at
-// the point's exact tracked memory: n³/(p·√M) with constants dropped, the
-// Section III bound every classical matmul variant must respect.
-func classicalLowerW(pt Point) float64 {
-	n, p := float64(pt.N), float64(pt.P)
+// classicalBounds returns the composite lower-bound set for a square
+// classical matmul point: the exact-constant ITT memory-dependent bound at
+// the point's tracked footprint 3·(n/q)² plus the Ballard et al.
+// memory-independent bound.
+func classicalBounds(pt Point) bounds.BoundSet {
+	n := float64(pt.N)
 	nb := float64(pt.N / pt.Q)
-	mem := 3 * nb * nb
-	return math.Max(0, n*n*n/(p*math.Sqrt(mem))-3*nb*nb)
+	return bounds.MatMulBounds(bounds.MatMulProblem{
+		M: n, K: n, N: n,
+		P:   float64(pt.P),
+		Mem: 3 * nb * nb,
+	})
 }
 
 // --- CAPS (Strassen) --------------------------------------------------------
@@ -321,6 +402,9 @@ func runCAPS(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 			{quantity: "E", got: core.PriceSim(m, r.Sim).Total(), model: eval.TotalEnergy(),
 				band: Band{3.5, 11}, detail: "priced energy vs Eq. 2 on the FLM costs"},
 		},
+		lower: bounds.MatMulBounds(bounds.MatMulProblem{
+			M: n, K: n, N: n, P: p, Mem: mem, Omega0: omega,
+		}),
 	}, nil
 }
 
@@ -363,6 +447,7 @@ func runLU(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 			{quantity: "E", got: core.PriceSim(m, r.Sim).Total(), model: eval.TotalEnergy(),
 				band: Band{0.4, 1}, detail: "priced energy vs Eq. 2 on the LU costs"},
 		},
+		lower: bounds.LUBounds(n, p, s.PeakMemWords),
 	}, nil
 }
 
@@ -418,6 +503,7 @@ func runNBody(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 			{quantity: "E", got: core.PriceSim(m, r.Sim).Total(), model: eval.TotalEnergy(),
 				band: Band{0.9, 2.2}, detail: "priced energy vs Eq. 2 on the n-body costs"},
 		},
+		lower: bounds.NBodyBounds(n, p, memBodies, nbody.WordsPerBody),
 	}, nil
 }
 
@@ -484,5 +570,7 @@ func runFFT(cost sim.Cost, m machine.Params, pt Point) (*algRun, error) {
 			{quantity: "E", got: core.PriceSim(m, r.Sim).Total(), model: eval.TotalEnergy(),
 				band: Band{0.85, 1.25}, detail: "priced energy vs Eq. 2 on the FFT costs"},
 		},
+		// Peak tracked words → complex-element capacity for Hong–Kung.
+		lower: bounds.FFTBounds(n, p, s.PeakMemWords/2),
 	}, nil
 }

@@ -1,0 +1,152 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"perfscale/internal/bounds"
+	"perfscale/internal/sim"
+)
+
+// The bounds family verifies the exact-constant communication lower bounds
+// of internal/bounds (memory-dependent ITT, memory-independent Ballard et
+// al., tight rectangular Al Daas et al.) two ways:
+//
+//   - bounds/floor: every simulated run of every algorithm must move at
+//     least as many words as the maximum of all applicable lower bounds —
+//     an implementation (or a counter) below the floor cannot have moved
+//     the data the computation provably needs. "Moved" is the busiest
+//     rank's sent + received words: the bounds count operand accesses
+//     beyond what a rank owns, and an access crosses the network in one
+//     direction or the other.
+//   - bounds/plateau, bounds/regime-*: closed-form consistency of the
+//     plateau attribution machinery — the exact perfect-scaling endpoint,
+//     the binding-bound switch there, and the continuity and ordering of
+//     the rectangular aspect-ratio regimes.
+
+// maxWordsMoved returns the maximum over ranks of WordsSent + WordsRecv —
+// the quantity the composite lower bounds constrain. (MaxStats takes
+// per-field maxima over different ranks, which is not a words-moved figure
+// for any single rank.)
+func maxWordsMoved(res *sim.Result) float64 {
+	var moved float64
+	for _, s := range res.PerRank {
+		moved = math.Max(moved, s.WordsSent+s.WordsRecv)
+	}
+	return moved
+}
+
+// checkBoundsFloor asserts one finished run sits above its composite lower
+// bound and reports the binding member on violation — the attribution that
+// names which theorem the run broke.
+func checkBoundsFloor(ck *checker, alg string, pt Point, run *algRun) {
+	if len(run.lower.All) == 0 {
+		return
+	}
+	moved := maxWordsMoved(run.res)
+	max := run.lower.Max()
+	ck.checkTrue("bounds/floor", alg, pt, "W",
+		moved >= max.Words*(1-1e-9),
+		moved, max.Words,
+		fmt.Sprintf("busiest-rank words moved fell below the binding %s lower bound (%s)",
+			max.Name, max.Source))
+	// Each member individually, so a violation report names every broken
+	// bound, not only the largest.
+	for _, b := range run.lower.All {
+		if b.Words <= 0 || b.Name == max.Name {
+			continue
+		}
+		ck.checkTrue("bounds/floor", alg, pt, "W",
+			moved >= b.Words*(1-1e-9),
+			moved, b.Words,
+			fmt.Sprintf("busiest-rank words moved fell below the %s lower bound (%s)", b.Name, b.Source))
+	}
+}
+
+// checkBoundsClosedForm verifies the analytic structure of the lower-bound
+// stack itself, independent of any simulation.
+func checkBoundsClosedForm(ck *checker) {
+	const alg = "closed-form"
+
+	// Plateau attribution: at PEnd the memory-dependent attainable curve
+	// meets the memory-independent floor exactly, and BindingAt switches
+	// from the dependent to the independent bound name there.
+	for _, n := range []float64{1 << 12, 1 << 16} {
+		for _, mem := range []float64{1 << 16, 1 << 22} {
+			pt := Point{N: int(n), P: 0}
+			pl := bounds.ClassicalPlateau(n, mem)
+			dep := n * n * n / (pl.PEnd * math.Sqrt(mem))
+			indep := n * n / math.Pow(pl.PEnd, 2.0/3.0)
+			ck.checkTrue("bounds/plateau", alg, pt, "W",
+				relClose(dep, indep, 1e-9),
+				dep, indep,
+				"memory-dependent and memory-independent curves do not meet at PEnd = n³/M^(3/2)")
+			ck.checkTrue("bounds/plateau", alg, pt, "",
+				pl.BindingAt(pl.PEnd/2) == pl.DependentBound &&
+					pl.BindingAt(pl.PEnd*2) == pl.IndependentBound,
+				0, 0,
+				"BindingAt does not switch bounds at the plateau end")
+
+			// Strassen-like algorithms leave the plateau earlier whenever
+			// replication headroom exists (M < n²).
+			fast := bounds.FastPlateau(n, mem, bounds.OmegaStrassen)
+			ck.checkTrue("bounds/plateau", alg, pt, "",
+				mem >= n*n || fast.PEnd < pl.PEnd,
+				fast.PEnd, pl.PEnd,
+				"Strassen plateau does not end before the classical one")
+		}
+	}
+
+	// Rectangular regimes: boundaries ordered, access bound continuous at
+	// both crossovers, square shapes always three-large and equal to the
+	// classical memory-independent bound.
+	shapes := [][3]float64{
+		{4096, 64, 64},  // tall-skinny
+		{4096, 4, 4096}, // outer-product-like
+		{256, 1024, 64}, // mixed
+		{512, 512, 512}, // square
+		{65536, 256, 256},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		pt := Point{MDim: int(m), KDim: int(k), N: int(n)}
+		p1, p2 := bounds.RectRegimeBoundaries(m, k, n)
+		ck.checkTrue("bounds/regime-order", alg, pt, "",
+			p1 <= p2*(1+1e-12),
+			p1, p2,
+			"one-large→two-large boundary above two-large→three-large boundary")
+		for _, pb := range []float64{p1, p2} {
+			if pb <= 1 {
+				continue
+			}
+			lo, _ := bounds.RectAccesses(m, k, n, pb*(1-1e-9))
+			hi, _ := bounds.RectAccesses(m, k, n, pb*(1+1e-9))
+			ck.checkTrue("bounds/regime-continuity", alg, pt, "W",
+				relClose(lo, hi, 1e-6),
+				lo, hi,
+				fmt.Sprintf("rectangular access bound jumps at the regime boundary p=%g", pb))
+		}
+		// Monotone non-increasing in p across all regimes.
+		prev := math.Inf(1)
+		monotone := true
+		for p := 1.0; p <= 1<<20; p *= 4 {
+			acc, _ := bounds.RectAccesses(m, k, n, p)
+			if acc > prev*(1+1e-12) {
+				monotone = false
+			}
+			prev = acc
+		}
+		ck.checkTrue("bounds/regime-monotone", alg, pt, "W",
+			monotone, 0, 0,
+			"rectangular access bound not monotone non-increasing in p")
+	}
+	for _, p := range []float64{1, 8, 512, 1 << 15} {
+		n := 512.0
+		pt := Point{N: int(n), P: int(p)}
+		w, regime := bounds.RectMemIndepWords(n, n, n, p)
+		ck.checkTrue("bounds/square-consistency", alg, pt, "W",
+			regime == bounds.ThreeLargeDims && relClose(w, bounds.ClassicalMemIndepWords(n, p), 1e-9),
+			w, bounds.ClassicalMemIndepWords(n, p),
+			"square rectangular bound disagrees with the classical memory-independent bound")
+	}
+}

@@ -60,7 +60,10 @@ func (l Level) String() string {
 
 // Point is one sweep coordinate. Not every field is meaningful for every
 // algorithm: matmul uses (N, Q, C), CAPS uses (N, K), n-body uses (N, P, C),
-// FFT uses (N, P, Tree).
+// FFT uses (N, P, Tree). Rectangular SUMMA points set the full
+// (MDim, KDim, N) shape — C = A·B with A MDim×KDim and B KDim×N — on a
+// PR×PC process grid with panel width Panel; square algorithms leave those
+// fields zero.
 type Point struct {
 	N    int  `json:"n"`
 	P    int  `json:"p"`
@@ -68,11 +71,20 @@ type Point struct {
 	C    int  `json:"c,omitempty"`
 	K    int  `json:"k,omitempty"`
 	Tree bool `json:"tree,omitempty"`
+
+	MDim  int `json:"m,omitempty"`
+	KDim  int `json:"kdim,omitempty"`
+	PR    int `json:"pr,omitempty"`
+	PC    int `json:"pc,omitempty"`
+	Panel int `json:"panel,omitempty"`
 }
 
 // String renders the point compactly for reports.
 func (pt Point) String() string {
 	s := fmt.Sprintf("n=%d p=%d", pt.N, pt.P)
+	if pt.MDim > 0 {
+		s = fmt.Sprintf("m=%d k=%d n=%d p=%d", pt.MDim, pt.KDim, pt.N, pt.P)
+	}
 	if pt.Q > 0 {
 		s += fmt.Sprintf(" q=%d", pt.Q)
 	}
@@ -81,6 +93,9 @@ func (pt Point) String() string {
 	}
 	if pt.K > 0 {
 		s += fmt.Sprintf(" k=%d", pt.K)
+	}
+	if pt.PR > 0 {
+		s += fmt.Sprintf(" grid=%dx%d panel=%d", pt.PR, pt.PC, pt.Panel)
 	}
 	if pt.Tree {
 		s += " tree"
@@ -168,6 +183,13 @@ type Config struct {
 	// matters (a mispriced Recv, an inflated βt) must surface as
 	// violations. Production sweeps leave it nil.
 	MutateCost func(*sim.Cost)
+	// MutateResult, when set, perturbs every finished run's measured
+	// counters before the checks see them. It exists for negative testing
+	// of the bounds family: an under-counting simulator (words recorded
+	// below what was actually moved) cannot be expressed as a cost
+	// mutation, but must still be caught by the lower-bound floor.
+	// Production sweeps leave it nil.
+	MutateResult func(*sim.Result)
 	// SkipSim disables the simulator-backed families (differential,
 	// sim-level metamorphic, replay), leaving only the closed-form checks.
 	// The fuzz target uses it to keep per-input cost bounded.
@@ -290,6 +312,7 @@ func Sweep(cfg Config) (*Report, error) {
 	}
 
 	checkClosedForms(ck, cfg)
+	checkBoundsClosedForm(ck)
 	checkRecoveryController(ck)
 
 	if !cfg.SkipSim {
@@ -303,8 +326,11 @@ func Sweep(cfg Config) (*Report, error) {
 				if err != nil {
 					return fail(fmt.Errorf("conformance: %s %s: %w", alg.name, pt, err))
 				}
+				if cfg.MutateResult != nil {
+					cfg.MutateResult(run.res)
+				}
 				checkDifferential(ck, alg.name, pt, run)
-				checkLowerBound(ck, alg.name, pt, run)
+				checkBoundsFloor(ck, alg.name, pt, run)
 			}
 		}
 		for _, family := range []func(*checker, Config) error{

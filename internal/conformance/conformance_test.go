@@ -151,6 +151,77 @@ func TestCatchesWrongMessageSizing(t *testing.T) {
 	}
 }
 
+// TestCatchesUnderCountedWords is the bounds family's negative test: a
+// simulator that under-records communication (here: every rank's word
+// counters scaled to a quarter of what was moved) must fall below the
+// exact-constant lower-bound floor and be caught — on square 2.5D points
+// and on rectangular SUMMA shapes alike. The clean runs of the same
+// algorithms (TestSweepQuick and the green half below) pass the identical
+// checks, so this stays red-then-green.
+func TestCatchesUnderCountedWords(t *testing.T) {
+	algs := []string{"matmul-2.5d", "matmul-summa-rect"}
+	for _, alg := range algs {
+		t.Run(alg, func(t *testing.T) {
+			rep, err := Sweep(Config{
+				Level:      Quick,
+				Algorithms: []string{alg},
+				MutateResult: func(res *sim.Result) {
+					for i := range res.PerRank {
+						res.PerRank[i].WordsSent *= 0.25
+						res.PerRank[i].WordsRecv *= 0.25
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("negative sweep failed to run: %v", err)
+			}
+			floors := 0
+			for _, v := range rep.Violations {
+				if v.Property == "bounds/floor" {
+					floors++
+				}
+			}
+			if floors == 0 {
+				t.Fatalf("under-counted words not caught by bounds/floor; violations: %v", rep.Violations)
+			}
+			// Green half: the same sweep without the mutation is clean.
+			clean, err := Sweep(Config{Level: Quick, Algorithms: []string{alg}})
+			if err != nil {
+				t.Fatalf("clean sweep failed to run: %v", err)
+			}
+			for _, v := range clean.Violations {
+				t.Errorf("clean sweep violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestBoundsFamilyCoversAllAlgorithms asserts every registry entry carries
+// a non-empty composite bound set at its quick points — the bounds family
+// must be load-bearing for all seven original algorithms plus the
+// rectangular SUMMA entry, not just matmul.
+func TestBoundsFamilyCoversAllAlgorithms(t *testing.T) {
+	cfg := Config{Level: Quick}
+	cfg.Machine = machine.SimDefault()
+	for _, alg := range algorithms {
+		pt := alg.points(Quick)[0]
+		run, err := alg.run(cfg.cost(), cfg.Machine, pt)
+		if err != nil {
+			t.Fatalf("%s %s: %v", alg.name, pt, err)
+		}
+		if len(run.lower.All) == 0 {
+			t.Errorf("%s: empty composite bound set", alg.name)
+			continue
+		}
+		moved := maxWordsMoved(run.res)
+		max := run.lower.Max()
+		if moved < max.Words {
+			t.Errorf("%s %s: moved %g below its own bound %g (%s)", alg.name, pt, moved, max.Words, max.Name)
+		}
+		t.Logf("%-18s %-28s moved %10.4g  bound %10.4g (%s)", alg.name, pt, moved, max.Words, max.Name)
+	}
+}
+
 // TestViolationString pins the rendered form used by cmd/conformance.
 func TestViolationString(t *testing.T) {
 	v := Violation{

@@ -90,18 +90,3 @@ func checkPriceConsistency(ck *checker, alg string, pt Point, res *sim.Result) {
 		got, want,
 		"core.PriceSim disagrees with an independent Eq. 2 evaluation of the same counters")
 }
-
-// checkLowerBound verifies the busiest rank's measured words never fall
-// below the Section III communication lower bound (constants dropped): an
-// implementation that communicates less than the bound permits is broken —
-// it cannot have moved the data the computation needs.
-func checkLowerBound(ck *checker, alg string, pt Point, run *algRun) {
-	if run.lowerW <= 0 {
-		return
-	}
-	got := run.res.MaxStats().WordsSent
-	ck.checkTrue("metamorphic/lower-bound", alg, pt, "W",
-		got >= run.lowerW,
-		got, run.lowerW,
-		"busiest-rank words sent fell below the communication lower bound")
-}

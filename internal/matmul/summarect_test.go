@@ -94,6 +94,97 @@ func TestSUMMARectPanelWidthTradeoff(t *testing.T) {
 	}
 }
 
+func TestSUMMARectBackendIdentity(t *testing.T) {
+	// The event engine must be a perfect stand-in for the goroutine
+	// runtime on rectangular shapes and non-square grids: every per-rank
+	// counter — flops, words, messages, peak memory, and all four clock
+	// decompositions — bit-identical, and the product matrix too. Priced
+	// with nonzero α/β/γ and fragmented messages so the time counters are
+	// exercised, not just the event counts.
+	cost := sim.Cost{GammaT: 1e-9, BetaT: 1e-8, AlphaT: 1e-6, MaxMsgWords: 16}
+	for _, tc := range []struct{ m, k, n, pr, pc, panel int }{
+		{16, 8, 12, 4, 2, 2},  // tall grid
+		{12, 24, 8, 2, 4, 2},  // wide grid, wide k
+		{24, 16, 24, 2, 4, 4}, // non-square grid, square-ish operands
+		{20, 4, 8, 2, 2, 1},   // thin k
+	} {
+		a := matrix.Random(tc.m, tc.k, int64(3*tc.m+tc.k))
+		b := matrix.Random(tc.k, tc.n, int64(3*tc.k+tc.n))
+		gCost, eCost := cost, cost
+		gCost.Runtime = sim.RuntimeGoroutine
+		eCost.Runtime = sim.RuntimeEvent
+		g, err := SUMMARect(gCost, tc.pr, tc.pc, tc.panel, a, b)
+		if err != nil {
+			t.Fatalf("%+v goroutine: %v", tc, err)
+		}
+		e, err := SUMMARect(eCost, tc.pr, tc.pc, tc.panel, a, b)
+		if err != nil {
+			t.Fatalf("%+v event: %v", tc, err)
+		}
+		if d := g.C.MaxAbsDiff(e.C); d != 0 {
+			t.Errorf("%+v: backends disagree on C, max diff %g", tc, d)
+		}
+		perRankF := 2.0 * float64(tc.m*tc.k*tc.n) / float64(tc.pr*tc.pc)
+		for id := range g.Sim.PerRank {
+			if g.Sim.PerRank[id] != e.Sim.PerRank[id] {
+				t.Errorf("%+v rank %d stats differ:\n  goroutine %+v\n  event     %+v",
+					tc, id, g.Sim.PerRank[id], e.Sim.PerRank[id])
+			}
+			if f := g.Sim.PerRank[id].Flops; f != perRankF {
+				t.Errorf("%+v rank %d flops %g, want exactly 2mkn/p = %g", tc, id, f, perRankF)
+			}
+		}
+	}
+}
+
+func TestSUMMARectPerRankCounterPins(t *testing.T) {
+	// Exact per-rank counter values at a rectangular shape, derived by hand
+	// from the collective algorithms, checked on both backends.
+	//
+	// m=12 k=8 n=16 on a 2×2 grid with panel=2: rowsPer=6, colsPer=8,
+	// aColsPer=bRowsPer=4, and k/panel = 4 broadcast steps. Every row and
+	// column communicator has two members, so each BcastLarge of an L-word
+	// panel (L even, ≥ 2) costs its root 1 (size announcement) + L/2
+	// (scatter) + L/2 (ring all-gather) = L+1 words over 3 messages, and
+	// the non-root L/2 words over 1 message. Each rank is root for exactly
+	// 2 of the 4 A-panels (L_A = rowsPer·panel = 12) and 2 of the 4
+	// B-panels (L_B = panel·colsPer = 16):
+	//
+	//   W_sent = W_recv = 2·13 + 2·6 + 2·17 + 2·8 = 88
+	//   S_sent = S_recv = 2·3 + 2·1 + 2·3 + 2·1   = 16
+	//   F      = 2·12·8·16/4                       = 768
+	//   M      = 6·4 + 4·8 + 6·8                   = 104
+	const (
+		m, k, n, pr, pc, panel = 12, 8, 16, 2, 2, 2
+		wantW                  = 88.0
+		wantS                  = 16.0
+		wantF                  = 768.0
+		wantM                  = 104.0
+	)
+	a := matrix.Random(m, k, 11)
+	b := matrix.Random(k, n, 12)
+	for _, rt := range []sim.Runtime{sim.RuntimeGoroutine, sim.RuntimeEvent} {
+		res, err := SUMMARect(sim.Cost{Runtime: rt}, pr, pc, panel, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", rt, err)
+		}
+		for id, s := range res.Sim.PerRank {
+			if s.Flops != wantF {
+				t.Errorf("%v rank %d: flops %g, want %g", rt, id, s.Flops, wantF)
+			}
+			if s.WordsSent != wantW || s.WordsRecv != wantW {
+				t.Errorf("%v rank %d: words sent/recv %g/%g, want %g each", rt, id, s.WordsSent, s.WordsRecv, wantW)
+			}
+			if s.MsgsSent != wantS || s.MsgsRecv != wantS {
+				t.Errorf("%v rank %d: msgs sent/recv %g/%g, want %g each", rt, id, s.MsgsSent, s.MsgsRecv, wantS)
+			}
+			if s.PeakMemWords != wantM {
+				t.Errorf("%v rank %d: peak mem %g, want %g", rt, id, s.PeakMemWords, wantM)
+			}
+		}
+	}
+}
+
 func TestSUMMARectFlopBalance(t *testing.T) {
 	const m, k, n = 16, 8, 12
 	a := matrix.Random(m, k, 9)
