@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"perfscale/internal/analytics"
+	"perfscale/internal/campaign"
 	"perfscale/internal/conformance"
 	"perfscale/internal/core"
 	"perfscale/internal/machine"
@@ -120,6 +121,24 @@ type recoveryOverhead struct {
 	ChaosEnergyJ    float64 `json:"chaos_energy_joules"`
 }
 
+// campaignBench records the chaos-campaign engine's footprint: one full
+// event-backend sweep of the seeded under-provisioned-detector target (the
+// red/green fixture pinned across the test suite), including delta-debugging
+// the first finding to its minimal reproducer. Cells, runs and coordinate
+// counts are deterministic and must not drift; wall time is the committed
+// scaling signal for the engine itself.
+type campaignBench struct {
+	Workload         string  `json:"workload"`
+	P                int     `json:"p"`
+	Cells            int     `json:"cells"`
+	Runs             int     `json:"runs"`
+	Findings         int     `json:"findings"`
+	ShrinkRuns       int     `json:"shrink_runs"`
+	DiscoveredCoords int     `json:"discovered_coords"`
+	MinimizedCoords  int     `json:"minimized_coords"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
 type report struct {
 	Machine       string              `json:"machine"`
 	N             int                 `json:"n"`
@@ -128,6 +147,7 @@ type report struct {
 	Backends      []backendComparison `json:"goroutine_vs_event,omitempty"`
 	TraceOverhead *traceOverhead      `json:"trace_overhead,omitempty"`
 	Recovery      *recoveryOverhead   `json:"recovery_overhead,omitempty"`
+	Campaign      *campaignBench      `json:"campaign,omitempty"`
 	// Conformance is the quick model-conformance sweep (the CI gate), with
 	// its wall time, so the gate's cost is tracked alongside the simulator's
 	// own scaling numbers.
@@ -482,6 +502,50 @@ func main() {
 			rep.Recovery.CleanEnergyJ, rep.Recovery.ChaosEnergyJ, cleanWall, chaosWall)
 		if !identical {
 			fmt.Fprintf(os.Stderr, "recovery p=%d: drop-masked product DIVERGED from the clean run\n", q*q)
+			os.Exit(1)
+		}
+	}
+
+	// Chaos-campaign footprint: the seeded detector violation swept end to
+	// end on the event backend — enumeration, the structured+random corpus,
+	// invariant checks, and the ddmin shrink of the finding. Everything but
+	// the wall clock is deterministic, so cell/run/coordinate drift in review
+	// means the engine changed behavior, not the host.
+	{
+		cfg := campaign.Config{
+			Target: campaign.Target{
+				N: 16, Q: 4,
+				MaxAttempts: 3, MaxRTOFactor: 8, DetectorRTOs: 4, DetectorMisses: 2,
+			},
+			RandomPlans: 2,
+		}
+		eng, err := campaign.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign bench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		st, err := eng.Run(campaign.RunOpts{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign bench:", err)
+			os.Exit(1)
+		}
+		cb := &campaignBench{
+			Workload: st.Config.Target.Workload, P: st.Config.Target.Ranks(),
+			Cells: len(st.Cells), Runs: st.RunsUsed, Findings: len(st.Findings),
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if len(st.Findings) > 0 && st.Findings[0].Repro != nil {
+			r := st.Findings[0].Repro
+			cb.ShrinkRuns = r.ShrinkRuns
+			cb.DiscoveredCoords = r.DiscoveredCoords
+			cb.MinimizedCoords = r.MinimizedCoords
+		}
+		rep.Campaign = cb
+		fmt.Printf("campaign p=%d: %d cells, %d runs, %d findings, shrink %d → %d coords in %d runs, wall=%.3fs\n",
+			cb.P, cb.Cells, cb.Runs, cb.Findings, cb.DiscoveredCoords, cb.MinimizedCoords, cb.ShrinkRuns, cb.WallSeconds)
+		if cb.Findings == 0 || cb.MinimizedCoords >= cb.DiscoveredCoords {
+			fmt.Fprintln(os.Stderr, "campaign bench: seeded detector violation not found or not minimized")
 			os.Exit(1)
 		}
 	}

@@ -12,10 +12,11 @@
 //	conformance -out report.json     # machine-readable violation report
 //	conformance -v                   # dump every band ratio to stderr
 //
-// The exit status is 0 when the sweep passes, 1 on violations, 2 on a
-// harness failure (an algorithm refusing to run, bad flags), 130 when
-// interrupted by SIGINT/SIGTERM — in which case the -out report is still
-// written, marked "interrupted", covering the points reached.
+// The exit status is 0 when the sweep passes, 1 on violations or when the
+// -out report cannot be written, 2 on a harness failure (an algorithm
+// refusing to run, bad flags), 130 when interrupted by SIGINT/SIGTERM — in
+// which case the -out report is still written, marked "interrupted",
+// covering the points reached.
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 
 	"perfscale/internal/conformance"
 	"perfscale/internal/machine"
+	"perfscale/internal/report"
 )
 
 func main() {
@@ -97,9 +99,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "conformance:", merr)
 			os.Exit(2)
 		}
-		if werr := os.WriteFile(*out, append(data, '\n'), 0o644); werr != nil {
-			fmt.Fprintln(os.Stderr, "conformance:", werr)
-			os.Exit(2)
+		w, closeOut, oerr := report.OpenOutput(*out)
+		if oerr != nil {
+			fmt.Fprintln(os.Stderr, "conformance:", oerr)
+			os.Exit(1)
+		}
+		w.Printf("%s\n", data)
+		if werr := w.Err(); werr != nil {
+			fmt.Fprintln(os.Stderr, "conformance: writing report:", werr)
+			os.Exit(1)
+		}
+		if cerr := closeOut(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "conformance: closing report:", cerr)
+			os.Exit(1)
 		}
 	}
 

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfscale/internal/conformance"
+)
+
+// The test binary re-executes itself with CONFORMANCE_RUN_MAIN=1 so main()
+// runs exactly as shipped, flag parsing and exit codes included.
+func TestMain(m *testing.M) {
+	if os.Getenv("CONFORMANCE_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runConformance(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CONFORMANCE_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("conformance %v did not run: %v\n%s", args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+// quickFlags restricts the sweep to one fast algorithm so the subprocess
+// tests exercise the full report pipeline in well under a second.
+var quickFlags = []string{"-quick", "-alg", "fft"}
+
+func TestQuickSweepWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	out, code := runConformance(t, append(quickFlags, "-out", path)...)
+	if code != 0 {
+		t.Fatalf("quick sweep exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("-out did not write the report: %v", err)
+	}
+	var rep conformance.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Checks == 0 || len(rep.Violations) != 0 {
+		t.Fatalf("unexpected report: %d checks, %d violations", rep.Checks, len(rep.Violations))
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{},                  // neither -quick nor -full
+		{"-quick", "-full"}, // both
+		{"-quick", "-machine", "no-such-preset"},
+	}
+	for _, args := range cases {
+		if out, code := runConformance(t, args...); code != 2 {
+			t.Errorf("conformance %v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+}
+
+// TestWriteFailureExitStatus: a report that cannot be written must exit 1,
+// not succeed silently. /dev/full fails every write with ENOSPC.
+func TestWriteFailureExitStatus(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	out, code := runConformance(t, append(quickFlags, "-out", "/dev/full")...)
+	if code != 1 {
+		t.Fatalf("write to /dev/full: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "report") {
+		t.Errorf("missing write diagnostic:\n%s", out)
+	}
+}
+
+// TestUnwritableOutputExitStatus: failing to open the report file at all
+// is also exit 1.
+func TestUnwritableOutputExitStatus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "report.json")
+	if out, code := runConformance(t, append(quickFlags, "-out", path)...); code != 1 {
+		t.Fatalf("unwritable -out: exit %d, want 1\n%s", code, out)
+	}
+}

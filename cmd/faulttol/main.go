@@ -36,14 +36,15 @@ import (
 
 func main() {
 	var (
-		abft  = flag.Bool("abft", false, "E23a: ABFT 2.5D matmul under crashes and corruption")
-		ckpt  = flag.Bool("ckpt", false, "E23b: checkpoint/rollback under crashes")
-		drops = flag.Bool("drops", false, "E23c: SUMMA over ARQ under silent drops")
-		det   = flag.Bool("detector", false, "E23d: heartbeat failure detection scenarios")
-		rec   = flag.Bool("recover", false, "E23e: energy-priced recovery controller")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-		mach  = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
-		n     = flag.Int("n", 96, "matrix dimension for the ABFT and ARQ sweeps")
+		abft    = flag.Bool("abft", false, "E23a: ABFT 2.5D matmul under crashes and corruption")
+		ckpt    = flag.Bool("ckpt", false, "E23b: checkpoint/rollback under crashes")
+		drops   = flag.Bool("drops", false, "E23c: SUMMA over ARQ under silent drops")
+		det     = flag.Bool("detector", false, "E23d: heartbeat failure detection scenarios")
+		rec     = flag.Bool("recover", false, "E23e: energy-priced recovery controller")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		mach    = flag.String("machine", "simdefault", "machine preset name or .json parameter file")
+		n       = flag.Int("n", 96, "matrix dimension for the ABFT and ARQ sweeps")
+		outPath = flag.String("o", "", "write the report to this file (default stdout)")
 	)
 	flag.Parse()
 	all := !*abft && !*ckpt && !*drops && !*det && !*rec
@@ -53,11 +54,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	w, closeOut, err := report.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faulttol:", err)
+		os.Exit(1)
+	}
 	emit := func(t *report.Table) {
 		if *csv {
-			fmt.Print(t.CSV())
+			w.Printf("%s", t.CSV())
 		} else {
-			fmt.Println(t.Render())
+			w.Println(t.Render())
 		}
 	}
 
@@ -75,6 +81,18 @@ func main() {
 	}
 	if all || *rec {
 		runRecover(emit, m)
+	}
+	code := 0
+	if err := w.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "faulttol: writing report:", err)
+		code = 1
+	}
+	if err := closeOut(); err != nil {
+		fmt.Fprintln(os.Stderr, "faulttol: closing output:", err)
+		code = 1
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -112,5 +113,46 @@ func TestBadMachineExitStatus(t *testing.T) {
 	}
 	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
 		t.Errorf("want exit code 2, got %v", err)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.csv")
+	runFaulttol(t, "-recover", "-csv", "-o", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("-o did not write the report: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "n,") {
+		t.Errorf("report file does not start with the CSV header:\n%s", data)
+	}
+}
+
+// TestWriteFailureExitStatus: a report that cannot be written must exit 1,
+// not succeed silently. /dev/full fails every write with ENOSPC.
+func TestWriteFailureExitStatus(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	cmd := exec.Command(os.Args[0], "-recover", "-csv", "-o", "/dev/full")
+	cmd.Env = append(os.Environ(), "FAULTTOL_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("write to /dev/full: %v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "writing report") {
+		t.Errorf("missing write diagnostic:\n%s", out)
+	}
+}
+
+// TestUnwritableOutputExitStatus: failing to open the output at all is
+// also exit 1, before any experiment runs.
+func TestUnwritableOutputExitStatus(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-recover", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "out.txt"))
+	cmd.Env = append(os.Environ(), "FAULTTOL_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("unwritable -o: %v, want exit 1\n%s", err, out)
 	}
 }

@@ -18,7 +18,10 @@
 //   - recovery: the self-healing runtime masks seeded silent drops with a
 //     product bit-identical to the fault-free run, T/E overhead inside
 //     pinned bands, bitwise-deterministic replays, and an energy-priced
-//     recovery controller whose choice is the argmin of its own pricing.
+//     recovery controller whose choice is the argmin of its own pricing;
+//   - campaign: minimal reproducers discovered by the chaos-campaign
+//     engine (internal/campaign) and pinned under testdata/campaign replay
+//     their invariant violations bitwise on both backends.
 //
 // The engine is a property/table-test core usable from go test (see
 // conformance_test.go), a fuzz target (FuzzConformance) and a CLI
@@ -334,7 +337,7 @@ func Sweep(cfg Config) (*Report, error) {
 			}
 		}
 		for _, family := range []func(*checker, Config) error{
-			checkSimMetamorphic, checkWeakScaling, checkReplay, checkRecovery, checkBackend,
+			checkSimMetamorphic, checkWeakScaling, checkReplay, checkRecovery, checkBackend, checkCampaign,
 		} {
 			if cfg.interrupted() != nil {
 				return fail(nil)

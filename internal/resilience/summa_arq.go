@@ -70,6 +70,9 @@ func SUMMAARQ(cost sim.Cost, q int, cfg ARQConfig, a, b *matrix.Dense) (*SUMMAAR
 		}
 
 		for t := 0; t < q; t++ {
+			// Phase marks are free when unobserved; campaign-style tooling
+			// enumerates them as crash-injection candidates.
+			r.Phase(fmt.Sprintf("panel-%d", t))
 			aPanel, err := arq.Bcast(rowMembers, grid.RankAt(row, t), dataIf(col == t, aBlk))
 			if err != nil {
 				return err

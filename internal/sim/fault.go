@@ -108,14 +108,101 @@ func (fp *FaultPlan) Validate(p int) error {
 			if pr < 0 || pr > 1 {
 				return fmt.Errorf("sim: fault plan probability %g outside [0,1]", pr)
 			}
+			// A fractional probability rolls the seeded dice; with Seed 0
+			// the plan still replays bitwise (the hash is well defined),
+			// but the author almost certainly forgot the seed that makes
+			// the scenario an identity rather than an accident. Probs of
+			// exactly 0 or 1 are deterministic and need no seed.
+			if fp.Seed == 0 && pr > 0 && pr < 1 {
+				return fmt.Errorf("sim: fault plan has probabilistic link fault (prob %g) but no Seed; fractional probabilities require an explicit seed", pr)
+			}
+		}
+		if err := validateWindow(l.From, l.Until); err != nil {
+			return fmt.Errorf("sim: fault plan link %d->%d: %w", l.Src, l.Dst, err)
 		}
 	}
 	for _, d := range fp.Degraded {
 		if d.AlphaFactor < 0 || d.BetaFactor < 0 {
 			return fmt.Errorf("sim: degraded-link factors must be non-negative, got %+v", d)
 		}
+		if err := validateWindow(d.From, d.Until); err != nil {
+			return fmt.Errorf("sim: degraded link %d->%d: %w", d.Src, d.Dst, err)
+		}
 	}
 	return nil
+}
+
+// validateWindow rejects malformed [From, Until) fault windows. Until = 0
+// means unbounded; any other end must lie strictly after the start, or the
+// window silently matches nothing and the plan is not the scenario its
+// author wrote down.
+func validateWindow(from, until float64) error {
+	if from < 0 {
+		return fmt.Errorf("window start %g is negative", from)
+	}
+	if until != 0 && until <= from {
+		return fmt.Errorf("window end %g not after start %g (Until = 0 means unbounded)", until, from)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the plan, so campaign-style tooling can
+// mutate a candidate (shrinking, probability bisection) without aliasing
+// the original's maps and slices.
+func (fp *FaultPlan) Clone() *FaultPlan {
+	if fp == nil {
+		return nil
+	}
+	cp := &FaultPlan{
+		Seed:       fp.Seed,
+		Respawn:    fp.Respawn,
+		RebootTime: fp.RebootTime,
+	}
+	if fp.Crashes != nil {
+		cp.Crashes = make(map[int]float64, len(fp.Crashes))
+		for r, t := range fp.Crashes {
+			cp.Crashes[r] = t
+		}
+	}
+	cp.Links = append([]LinkFault(nil), fp.Links...)
+	cp.Degraded = append([]DegradedLink(nil), fp.Degraded...)
+	return cp
+}
+
+// Merge returns a new plan carrying the union of both plans' fault atoms:
+// all crashes (on a conflicting rank the earlier crash wins — the rank is
+// already dead when the later one would fire), all link rules, and all
+// degradation windows. Seed, Respawn and RebootTime come from the receiver;
+// a compound chaos scenario is built by merging primitives into a seeded
+// base plan.
+func (fp *FaultPlan) Merge(o *FaultPlan) *FaultPlan {
+	out := fp.Clone()
+	if o == nil {
+		return out
+	}
+	for r, t := range o.Crashes {
+		if have, ok := out.Crashes[r]; ok && have <= t {
+			continue
+		}
+		if out.Crashes == nil {
+			out.Crashes = map[int]float64{}
+		}
+		out.Crashes[r] = t
+	}
+	out.Links = append(out.Links, o.Links...)
+	out.Degraded = append(out.Degraded, o.Degraded...)
+	return out
+}
+
+// CoordCount counts the plan's fault atoms — scheduled crashes, link-fault
+// rules and degradation windows. It is the coordinate measure minimized by
+// reproducer shrinking: a minimal plan is one no atom can be removed from
+// without losing the behavior it reproduces.
+func (fp *FaultPlan) CoordCount() int {
+	if fp == nil {
+		return 0
+	}
+	return len(fp.Crashes) + len(fp.Links) + len(fp.Degraded)
 }
 
 // matches reports whether a rule scoped to (rSrc, rDst, [from, until)) covers

@@ -253,8 +253,10 @@ func TestDuplicateRollsIndependentCorruptionFate(t *testing.T) {
 	// CorruptProb 0.5: the copies' fates are independent coin flips, so a
 	// seed scan must find both mixed outcomes — clean duplicate with a
 	// corrupted primary, and the reverse.
+	// (Seed 0 is skipped: a fractional probability without an explicit
+	// seed is a validation error.)
 	sawCleanDupCorruptPrim, sawCorruptDupCleanPrim := false, false
-	for seed := uint64(0); seed < 200 && !(sawCleanDupCorruptPrim && sawCorruptDupCleanPrim); seed++ {
+	for seed := uint64(1); seed < 201 && !(sawCleanDupCorruptPrim && sawCorruptDupCleanPrim); seed++ {
 		dupDiffs, primDiffs := recvPair(seed, 0.5)
 		if dupDiffs == 0 && primDiffs == 1 {
 			sawCleanDupCorruptPrim = true
@@ -365,10 +367,98 @@ func TestFaultPlanValidation(t *testing.T) {
 		{Faults: &FaultPlan{Links: []LinkFault{{DropProb: 1.5}}}},         // prob > 1
 		{Faults: &FaultPlan{Degraded: []DegradedLink{{AlphaFactor: -2}}}}, // negative factor
 		{ChanCap: -1}, // negative buffer
+		// Link windows with End ≤ Start match nothing: the plan is not the
+		// scenario its author wrote down.
+		{Faults: &FaultPlan{Seed: 1, Links: []LinkFault{{From: 2, Until: 1, DropProb: 0.5}}}},
+		{Faults: &FaultPlan{Seed: 1, Links: []LinkFault{{From: 2, Until: 2, DropProb: 0.5}}}},
+		{Faults: &FaultPlan{Links: []LinkFault{{From: -0.5, DropProb: 1}}}}, // negative window start
+		{Faults: &FaultPlan{Degraded: []DegradedLink{{From: 3, Until: 1, AlphaFactor: 2, BetaFactor: 2}}}},
+		{Faults: &FaultPlan{Degraded: []DegradedLink{{From: -1, AlphaFactor: 2, BetaFactor: 2}}}},
+		// Fractional probabilities roll the seeded dice; a Seed-less plan
+		// with one is almost certainly missing its seed.
+		{Faults: &FaultPlan{Links: []LinkFault{{DropProb: 0.25}}}},
+		{Faults: &FaultPlan{Links: []LinkFault{{DupProb: 0.5}}}},
+		{Faults: &FaultPlan{Links: []LinkFault{{CorruptProb: 0.01}}}},
 	}
 	for i, c := range bad {
 		if _, err := NewCluster(2, c); err == nil {
 			t.Errorf("case %d: invalid configuration %+v must be rejected", i, c)
 		}
+	}
+
+	// The deterministic edges of the probability range need no seed (the
+	// existing drop/dup tests rely on seedless prob-1 plans), and bounded
+	// windows that end after they start are well formed.
+	good := []Cost{
+		{Faults: &FaultPlan{Links: []LinkFault{{DropProb: 1}}}},
+		{Faults: &FaultPlan{Links: []LinkFault{{DupProb: 1, CorruptProb: 0}}}},
+		{Faults: &FaultPlan{Seed: 3, Links: []LinkFault{{From: 1, Until: 2, DropProb: 0.25}}}},
+		{Faults: &FaultPlan{Degraded: []DegradedLink{{From: 1, Until: 0, AlphaFactor: 2, BetaFactor: 2}}}},
+	}
+	for i, c := range good {
+		if _, err := NewCluster(2, c); err != nil {
+			t.Errorf("case %d: valid configuration %+v rejected: %v", i, c, err)
+		}
+	}
+}
+
+func TestFaultPlanClone(t *testing.T) {
+	orig := &FaultPlan{
+		Seed:       7,
+		Crashes:    map[int]float64{1: 2.5},
+		Respawn:    true,
+		RebootTime: 0.5,
+		Links:      []LinkFault{{Src: 0, Dst: 1, DropProb: 0.5}},
+		Degraded:   []DegradedLink{{Src: -1, Dst: -1, AlphaFactor: 4, BetaFactor: 2}},
+	}
+	cp := orig.Clone()
+	cp.Crashes[3] = 9
+	cp.Links[0].DropProb = 0.9
+	cp.Degraded[0].AlphaFactor = 16
+	if _, ok := orig.Crashes[3]; ok {
+		t.Error("Clone aliased the Crashes map")
+	}
+	if orig.Links[0].DropProb != 0.5 || orig.Degraded[0].AlphaFactor != 4 {
+		t.Error("Clone aliased the Links/Degraded slices")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Clone() != nil {
+		t.Error("Clone of nil must be nil")
+	}
+}
+
+func TestFaultPlanMergeAndCoordCount(t *testing.T) {
+	base := &FaultPlan{
+		Seed:    1,
+		Crashes: map[int]float64{0: 5, 1: 3},
+		Links:   []LinkFault{{Src: 0, Dst: 1, DropProb: 1}},
+	}
+	other := &FaultPlan{
+		Seed:     99, // ignored: the receiver's seed wins
+		Crashes:  map[int]float64{0: 2, 2: 7},
+		Links:    []LinkFault{{Src: -1, Dst: -1, DupProb: 1}},
+		Degraded: []DegradedLink{{Src: 1, Dst: 0, AlphaFactor: 8, BetaFactor: 8}},
+	}
+	got := base.Merge(other)
+	if got.Seed != 1 {
+		t.Errorf("Merge seed = %d, want the receiver's 1", got.Seed)
+	}
+	// Conflicting crash on rank 0: the earlier time wins.
+	if got.Crashes[0] != 2 || got.Crashes[1] != 3 || got.Crashes[2] != 7 {
+		t.Errorf("Merge crashes = %v, want map[0:2 1:3 2:7]", got.Crashes)
+	}
+	if len(got.Links) != 2 || len(got.Degraded) != 1 {
+		t.Errorf("Merge atoms = %d links, %d degraded, want 2 and 1", len(got.Links), len(got.Degraded))
+	}
+	if got.CoordCount() != 6 {
+		t.Errorf("CoordCount = %d, want 6 (3 crashes + 2 links + 1 window)", got.CoordCount())
+	}
+	// Merge must not mutate its operands.
+	if base.CoordCount() != 3 || other.CoordCount() != 4 {
+		t.Errorf("Merge mutated an operand: base %d, other %d coords", base.CoordCount(), other.CoordCount())
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.CoordCount() != 0 {
+		t.Error("CoordCount of nil must be 0")
 	}
 }
